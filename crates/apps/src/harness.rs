@@ -1,0 +1,125 @@
+//! The [`AppHost`] endpoint: a transport [`Host`] driven by an [`App`].
+
+use cellbricks_net::{Endpoint, NodeId, Packet};
+use cellbricks_sim::{SimDuration, SimTime};
+use cellbricks_transport::Host;
+
+/// Application logic layered over a host's sockets.
+///
+/// Apps are polled: [`App::on_activity`] runs after every packet delivery
+/// and on every tick, and is where the app drains socket state and issues
+/// new work. This mirrors how the workloads only observe kernel sockets
+/// in the paper's testbed.
+pub trait App {
+    /// Called once, at the first poll.
+    fn start(&mut self, now: SimTime, host: &mut Host);
+    /// Called after packet activity and on every tick.
+    fn on_activity(&mut self, now: SimTime, host: &mut Host);
+    /// The tick interval driving time-based behaviour.
+    fn tick(&self) -> SimDuration;
+}
+
+/// A topology endpoint combining a transport host and an application.
+pub struct AppHost<A: App> {
+    /// The transport stack.
+    pub host: Host,
+    /// The application.
+    pub app: A,
+    started: bool,
+    next_tick: SimTime,
+}
+
+impl<A: App> AppHost<A> {
+    /// Wrap `host` and `app`.
+    #[must_use]
+    pub fn new(host: Host, app: A) -> Self {
+        Self {
+            host,
+            app,
+            started: false,
+            next_tick: SimTime::ZERO,
+        }
+    }
+}
+
+impl<A: App> Endpoint for AppHost<A> {
+    fn node(&self) -> NodeId {
+        self.host.node()
+    }
+
+    fn handle_packet(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<Packet>) {
+        self.host.handle_packet(now, pkt);
+        self.app.on_activity(now, &mut self.host);
+        self.host.drain_out(out);
+    }
+
+    fn poll_at(&self) -> Option<SimTime> {
+        let mut earliest = Some(self.next_tick);
+        if !self.started {
+            earliest = Some(SimTime::ZERO);
+        }
+        match (earliest, self.host.poll_at()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+    }
+
+    fn poll(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        if !self.started {
+            self.started = true;
+            self.app.start(now, &mut self.host);
+            self.next_tick = now + self.app.tick();
+        }
+        if now >= self.next_tick {
+            self.next_tick = now + self.app.tick();
+        }
+        self.host.poll(now);
+        self.app.on_activity(now, &mut self.host);
+        self.host.drain_out(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellbricks_net::{run_until, LinkConfig, NetWorld, Topology};
+    use cellbricks_sim::SimRng;
+    use std::net::Ipv4Addr;
+
+    struct TickCounter {
+        ticks: u32,
+        started: bool,
+    }
+
+    impl App for TickCounter {
+        fn start(&mut self, _now: SimTime, _host: &mut Host) {
+            self.started = true;
+        }
+        fn on_activity(&mut self, _now: SimTime, _host: &mut Host) {
+            self.ticks += 1;
+        }
+        fn tick(&self) -> SimDuration {
+            SimDuration::from_millis(100)
+        }
+    }
+
+    #[test]
+    fn app_starts_and_ticks() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.add_symmetric_link(a, b, LinkConfig::delay_only(SimDuration::from_millis(1)));
+        let mut world = NetWorld::new(t, SimRng::new(1));
+        let mut ep = AppHost::new(
+            Host::new(a, Some(Ipv4Addr::new(10, 0, 0, 1))),
+            TickCounter {
+                ticks: 0,
+                started: false,
+            },
+        );
+        run_until(&mut world, &mut [&mut ep], SimTime::from_secs(1));
+        assert!(ep.app.started);
+        assert!(ep.app.ticks >= 10, "{} ticks", ep.app.ticks);
+    }
+}

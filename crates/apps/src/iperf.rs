@@ -1,0 +1,192 @@
+//! iperf-style bulk downlink transfer.
+//!
+//! The server pushes an unbounded byte stream; the client records
+//! delivered bytes into a per-second time series — the raw material of
+//! Table 1's throughput column and the Fig. 8/9/10 series.
+
+use crate::harness::App;
+use cellbricks_net::EndpointAddr;
+use cellbricks_sim::{SimDuration, SimTime, TimeSeries};
+use cellbricks_transport::{Host, MpId, SockId};
+
+/// Which transport the client uses (the paper's two arms).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Transport {
+    /// Plain TCP — today's MNO baseline (IP never changes).
+    Tcp,
+    /// MPTCP — the CellBricks arm (survives IP changes).
+    Mptcp,
+}
+
+enum Conn {
+    Tcp(SockId),
+    Mp(MpId),
+}
+
+/// The receiving (UE-side) iperf client.
+pub struct IperfClient {
+    server: EndpointAddr,
+    transport: Transport,
+    conn: Option<Conn>,
+    /// Delivered bytes, binned per second.
+    pub series: TimeSeries,
+    /// Total bytes delivered.
+    pub total_bytes: u64,
+}
+
+impl IperfClient {
+    /// A client that will connect to `server`.
+    #[must_use]
+    pub fn new(server: EndpointAddr, transport: Transport, bin: SimDuration) -> Self {
+        Self {
+            server,
+            transport,
+            conn: None,
+            series: TimeSeries::new(bin),
+            total_bytes: 0,
+        }
+    }
+
+    /// Mean delivered throughput over `[from_s, to_s)`, Mbit/s.
+    #[must_use]
+    pub fn mean_mbps(&self, from_s: usize, to_s: usize) -> f64 {
+        self.series.mean_rate(from_s, to_s) * 8.0 / 1e6
+    }
+}
+
+impl App for IperfClient {
+    fn start(&mut self, now: SimTime, host: &mut Host) {
+        self.conn = Some(match self.transport {
+            Transport::Tcp => Conn::Tcp(host.tcp_connect(now, self.server)),
+            Transport::Mptcp => Conn::Mp(host.mp_connect(now, self.server)),
+        });
+    }
+
+    fn on_activity(&mut self, now: SimTime, host: &mut Host) {
+        let delivered = match &self.conn {
+            Some(Conn::Tcp(id)) => host.tcp_mut(*id).take_delivered(),
+            Some(Conn::Mp(id)) => host.mp_mut(*id).take_delivered(),
+            None => 0,
+        };
+        if delivered > 0 {
+            self.total_bytes += delivered;
+            self.series.record(now, delivered as f64);
+        }
+    }
+
+    fn tick(&self) -> SimDuration {
+        SimDuration::from_millis(100)
+    }
+}
+
+/// The sending (cloud-side) iperf server: accepts any connection on its
+/// port and switches it to bulk mode.
+pub struct IperfServer {
+    port: u16,
+}
+
+impl IperfServer {
+    /// A server listening on `port` for both TCP and MPTCP.
+    #[must_use]
+    pub fn new(port: u16) -> Self {
+        Self { port }
+    }
+}
+
+impl App for IperfServer {
+    fn start(&mut self, _now: SimTime, host: &mut Host) {
+        host.tcp_listen(self.port);
+        host.mp_listen(self.port);
+    }
+
+    fn on_activity(&mut self, now: SimTime, host: &mut Host) {
+        for id in host.take_accepted_tcp() {
+            host.tcp_set_bulk(now, id);
+        }
+        for id in host.take_accepted_mp() {
+            host.mp_set_bulk(now, id);
+        }
+    }
+
+    fn tick(&self) -> SimDuration {
+        SimDuration::from_millis(100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::AppHost;
+    use cellbricks_net::{run_until, LinkConfig, NetWorld, Shaper, Topology};
+    use cellbricks_sim::SimRng;
+    use std::net::Ipv4Addr;
+
+    const UE: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const SRV: Ipv4Addr = Ipv4Addr::new(1, 1, 1, 1);
+
+    fn world(rate_bps: f64) -> NetWorld {
+        let mut t = Topology::new();
+        let a = t.add_node("ue");
+        let b = t.add_node("server");
+        let dl = LinkConfig {
+            latency: SimDuration::from_millis(20),
+            loss: 0.0,
+            shaper: Shaper::FixedRate(rate_bps),
+            queue_cap: SimDuration::from_millis(400),
+        };
+        let ul = LinkConfig::delay_only(SimDuration::from_millis(20));
+        let l = t.add_link(b, a, dl, ul); // b→a is DL.
+        t.add_default_route(a, l);
+        t.add_default_route(b, l);
+        NetWorld::new(t, SimRng::new(5))
+    }
+
+    fn run(transport: Transport, rate_bps: f64, secs: u64) -> IperfClient {
+        let mut world = world(rate_bps);
+        let client_node = cellbricks_net::NodeId(0);
+        let server_node = cellbricks_net::NodeId(1);
+        let mut client = AppHost::new(
+            Host::new(client_node, Some(UE)),
+            IperfClient::new(
+                EndpointAddr::new(SRV, 5001),
+                transport,
+                SimDuration::from_secs(1),
+            ),
+        );
+        let mut server = AppHost::new(Host::new(server_node, Some(SRV)), IperfServer::new(5001));
+        run_until(
+            &mut world,
+            &mut [&mut client, &mut server],
+            SimTime::from_secs(secs),
+        );
+        client.app
+    }
+
+    #[test]
+    fn tcp_fills_the_pipe() {
+        let app = run(Transport::Tcp, 10e6, 20);
+        let mbps = app.mean_mbps(5, 20);
+        assert!(
+            (mbps - 10.0).abs() < 1.5,
+            "tcp {mbps} Mbps on a 10 Mbps pipe"
+        );
+    }
+
+    #[test]
+    fn mptcp_fills_the_pipe() {
+        let app = run(Transport::Mptcp, 10e6, 20);
+        let mbps = app.mean_mbps(5, 20);
+        assert!(
+            (mbps - 10.0).abs() < 1.5,
+            "mptcp {mbps} Mbps on a 10 Mbps pipe"
+        );
+    }
+
+    #[test]
+    fn throughput_scales_with_rate_limit() {
+        let slow = run(Transport::Tcp, 1.16e6, 20).mean_mbps(5, 20);
+        let fast = run(Transport::Tcp, 15.5e6, 20).mean_mbps(5, 20);
+        assert!((slow - 1.16).abs() < 0.3, "day-like rate {slow}");
+        assert!((fast - 15.5).abs() < 2.0, "night-like rate {fast}");
+    }
+}

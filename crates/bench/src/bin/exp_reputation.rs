@@ -1,0 +1,157 @@
+//! Reputation-system ablation (paper §4.3 / Fig. 5).
+//!
+//! The paper defers evaluating its reputation system; this experiment
+//! exercises the full protocol path — SAP authorization, sealed traffic
+//! reports from both sides, the Fig. 5 discrepancy check — and measures
+//! how quickly a bTelco that inflates its downlink usage by a factor
+//! `overcount` loses admission, for several tolerance ratios ε.
+//!
+//! Usage: `cargo run --release -p cellbricks-bench --bin exp_reputation`
+
+use bytes::Bytes;
+use cellbricks_core::billing::TrafficReport;
+use cellbricks_core::brokerd::{BrokerWire, Brokerd, BrokerdConfig};
+use cellbricks_core::principal::{BrokerKeys, TelcoKeys, UeKeys};
+use cellbricks_core::sap::{self, QosCap};
+use cellbricks_crypto::cert::CertificateAuthority;
+use cellbricks_net::{Endpoint, NodeId, Packet};
+use cellbricks_sim::{SimDuration, SimRng, SimTime};
+use std::net::Ipv4Addr;
+
+const BROKER_IP: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 1);
+const TELCO_IP: Ipv4Addr = Ipv4Addr::new(172, 16, 1, 1);
+
+/// Run one (overcount, epsilon) configuration; returns the cycle at which
+/// the broker first refuses the bTelco (None if never within `cycles`).
+fn detect_cycles(overcount: f64, epsilon: f64, cycles: u32, seed: u64) -> Option<u32> {
+    let mut rng = SimRng::new(seed);
+    let ca = CertificateAuthority::from_seed([0xCA; 32]);
+    let broker_keys = BrokerKeys::generate("broker.example", &ca, &mut rng);
+    let telco_keys = TelcoKeys::generate("tower-1.example", &ca, &mut rng);
+    let ue_keys = UeKeys::generate(&mut rng);
+
+    let mut brokerd = Brokerd::new(
+        NodeId(0),
+        BrokerdConfig {
+            ip: BROKER_IP,
+            keys: broker_keys.clone(),
+            ca: ca.public_key(),
+            proc_delay: SimDuration::ZERO,
+            epsilon,
+        },
+        rng.fork(),
+    );
+    let (sign_pk, encrypt_pk) = ue_keys.public();
+    brokerd.provision(ue_keys.identity(), sign_pk, encrypt_pk, 50_000_000);
+
+    // One SAP authorization to open the billing session.
+    let (req_u, _nonce) = sap::ue_build_request(
+        &ue_keys,
+        "broker.example",
+        &broker_keys.encrypt.public_key(),
+        telco_keys.identity(),
+        &mut rng,
+    );
+    let req_t = sap::telco_wrap_request(
+        &telco_keys,
+        req_u,
+        QosCap {
+            max_mbr_bps: 100_000_000,
+            qci_supported: vec![9],
+            li_capable: true,
+        },
+    );
+    let mut sink = Vec::new();
+    brokerd.handle_packet(
+        SimTime::ZERO,
+        Packet::control(
+            TELCO_IP,
+            BROKER_IP,
+            BrokerWire::AuthReq {
+                req_id: 1,
+                req_t: req_t.encode(),
+            }
+            .encode(),
+        ),
+        &mut sink,
+    );
+    assert_eq!(brokerd.auth_ok, 1, "authorization should succeed");
+    let session_id = 1u64;
+
+    // Billing cycles: the UE truthfully reports ~10 MB per cycle; the
+    // bTelco inflates by `overcount`.
+    let deliver = |brokerd: &mut Brokerd, from_ue: bool, sealed: Bytes| {
+        let mut sink = Vec::new();
+        brokerd.handle_packet(
+            SimTime::ZERO,
+            Packet::control(
+                TELCO_IP,
+                BROKER_IP,
+                BrokerWire::Report {
+                    session_id,
+                    from_ue,
+                    sealed,
+                }
+                .encode(),
+            ),
+            &mut sink,
+        );
+    };
+    for cycle in 0..cycles {
+        let true_dl = 10_000_000 + u64::from(cycle) * 1000;
+        let base = TrafficReport {
+            session_id,
+            seq: cycle,
+            ul_bytes: 100_000,
+            dl_bytes: true_dl,
+            duration_ms: 30_000,
+            dl_loss_ppm: 2_000,
+            ul_loss_ppm: 0,
+            avg_dl_kbps: 2_600,
+            avg_ul_kbps: 26,
+            delay_ms: 46,
+        };
+        let ue_sealed =
+            base.sign_and_seal(&ue_keys.sign, &broker_keys.encrypt.public_key(), &mut rng);
+        let mut telco_report = base.clone();
+        telco_report.dl_bytes = (true_dl as f64 * overcount) as u64;
+        let telco_sealed = telco_report.sign_and_seal(
+            &telco_keys.sign,
+            &broker_keys.encrypt.public_key(),
+            &mut rng,
+        );
+        deliver(&mut brokerd, true, ue_sealed);
+        deliver(&mut brokerd, false, telco_sealed);
+        if !brokerd.reputation.admit(telco_keys.identity()) {
+            return Some(cycle + 1);
+        }
+    }
+    None
+}
+
+fn main() {
+    println!("Reputation ablation — cycles until a cheating bTelco is refused");
+    println!("(30 s reporting cycles; UE reports truthfully; threshold per Fig. 5)");
+    println!("{}", "-".repeat(64));
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "overcount", "eps=0.2%", "eps=0.5%", "eps=1%", "eps=5%"
+    );
+    println!("{}", "-".repeat(64));
+    for overcount in [1.0, 1.02, 1.05, 1.2, 1.5, 2.0] {
+        print!("{overcount:<12.2}");
+        for eps in [0.002, 0.005, 0.01, 0.05] {
+            match detect_cycles(overcount, eps, 200, 42) {
+                Some(c) => print!(" {c:>9}"),
+                None => print!(" {:>9}", "never"),
+            }
+        }
+        println!();
+    }
+    println!("{}", "-".repeat(64));
+    println!(
+        "reading: honest (1.00) and within-tolerance reporting are never refused;\n\
+         large inflation is caught in a handful of cycles — the degree-weighted\n\
+         score drops faster for bigger lies (paper §4.3's intended incentive)."
+    );
+}

@@ -1,0 +1,198 @@
+//! Scale: many UEs attaching through one bTelco and one broker.
+//!
+//! The paper claims CellBricks "scales to a large number of users under
+//! different radio conditions" (§1). This experiment attaches N UEs (each
+//! a full [`UeDevice`] with its own keys and SAP state) through a single
+//! bTelco gateway to a single `brokerd`, with all N requests arriving in
+//! one burst — the worst case for the broker's single-threaded service
+//! queue — and reports the attach-latency distribution and the effective
+//! authorization throughput.
+//!
+//! Usage: `cargo run --release -p cellbricks-bench --bin exp_scale
+//!         [--seed S]`
+
+use cellbricks_core::brokerd::{Brokerd, BrokerdConfig};
+use cellbricks_core::btelco::{BTelcoGateway, BTelcoGatewayConfig, BrokerContact};
+use cellbricks_core::principal::{BrokerKeys, TelcoKeys, UeKeys};
+use cellbricks_core::sap::QosCap;
+use cellbricks_core::ue::{UeDevice, UeDeviceConfig};
+use cellbricks_crypto::cert::CertificateAuthority;
+use cellbricks_epc::enb::Enb;
+use cellbricks_net::{run_until, Endpoint, LinkConfig, NetWorld, Topology};
+use cellbricks_sim::{percentile, SimDuration, SimRng, SimTime};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+const AGW_SIG: Ipv4Addr = Ipv4Addr::new(172, 16, 1, 1);
+const BROKER_IP: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 1);
+
+struct ScaleResult {
+    n: usize,
+    attached: usize,
+    mean_ms: f64,
+    p95_ms: f64,
+    max_ms: f64,
+    auths_per_sec: f64,
+}
+
+fn run_scale(n: usize, seed: u64) -> ScaleResult {
+    let mut rng = SimRng::new(seed);
+    let ca = CertificateAuthority::from_seed([0xCA; 32]);
+    let broker_keys = BrokerKeys::generate("broker.example", &ca, &mut rng);
+    let telco_keys = TelcoKeys::generate("tower-1.example", &ca, &mut rng);
+
+    // Topology: N UE nodes — one eNB — AGW — cloud.
+    let mut t = Topology::new();
+    let enb_node = t.add_node("enb");
+    let agw_node = t.add_node("agw");
+    let cloud_node = t.add_node("cloud");
+    let back = t.add_symmetric_link(
+        enb_node,
+        agw_node,
+        LinkConfig::delay_only(SimDuration::from_micros(200)),
+    );
+    let core = t.add_symmetric_link(
+        agw_node,
+        cloud_node,
+        LinkConfig::delay_only(SimDuration::from_millis(2)),
+    );
+    t.add_default_route(enb_node, back);
+    t.add_default_route(agw_node, core);
+    t.add_default_route(cloud_node, core);
+
+    let mut brokerd = Brokerd::new(
+        cloud_node,
+        BrokerdConfig {
+            ip: BROKER_IP,
+            keys: broker_keys.clone(),
+            ca: ca.public_key(),
+            // A faster service time than the Fig. 7 calibration: the
+            // broker here models only the authorization work.
+            proc_delay: SimDuration::from_millis(2),
+            epsilon: 0.01,
+        },
+        rng.fork(),
+    );
+    let mut brokers = HashMap::new();
+    brokers.insert(
+        "broker.example".to_string(),
+        BrokerContact {
+            ctrl_ip: BROKER_IP,
+            encrypt_pk: broker_keys.encrypt.public_key(),
+        },
+    );
+    let mut telco = BTelcoGateway::new(
+        agw_node,
+        BTelcoGatewayConfig {
+            sig_ip: AGW_SIG,
+            pool_base: Ipv4Addr::new(10, 1, 0, 0),
+            keys: telco_keys,
+            ca: ca.public_key(),
+            brokers,
+            qos_cap: QosCap {
+                max_mbr_bps: 100_000_000,
+                qci_supported: vec![9],
+                li_capable: true,
+            },
+            proc_delay: SimDuration::from_micros(500),
+            report_interval: SimDuration::from_secs(3_600),
+            overcount_factor: 1.0,
+        },
+        rng.fork(),
+    );
+    let mut enb = Enb::new(enb_node, SimDuration::from_micros(100));
+
+    // N UEs, each on its own node with a radio link to the shared eNB.
+    let mut ues: Vec<UeDevice> = Vec::with_capacity(n);
+    for i in 0..n {
+        let ue_sig = Ipv4Addr::new(169, 254, (i / 250) as u8 + 1, (i % 250) as u8 + 1);
+        let ue_node = t.add_node(&format!("ue{i}"));
+        let radio = t.add_symmetric_link(
+            ue_node,
+            enb_node,
+            LinkConfig::delay_only(SimDuration::from_millis(4)),
+        );
+        t.add_default_route(ue_node, radio);
+        t.add_route(enb_node, ue_sig, 32, radio);
+        t.add_route(agw_node, ue_sig, 32, back);
+
+        let keys = UeKeys::generate(&mut rng);
+        let (sign_pk, encrypt_pk) = keys.public();
+        brokerd.provision(keys.identity(), sign_pk, encrypt_pk, 50_000_000);
+        ues.push(UeDevice::new(
+            ue_node,
+            UeDeviceConfig {
+                ue_sig,
+                keys,
+                broker_name: "broker.example".to_string(),
+                broker_sign_pk: broker_keys.sign.verifying_key(),
+                broker_encrypt_pk: broker_keys.encrypt.public_key(),
+                broker_ctrl_ip: BROKER_IP,
+                proc_delay: SimDuration::from_millis(1),
+                verify_delay: SimDuration::from_millis(1),
+                report_interval: SimDuration::from_secs(3_600),
+                attach_retry_after: SimDuration::from_secs(2),
+                attach_max_tries: 3,
+            },
+            rng.fork(),
+        ));
+    }
+
+    let mut world = NetWorld::new(t, rng.fork());
+    // Everyone attaches at once (a cell powering up / a stadium emptying).
+    for ue in &mut ues {
+        ue.start_attach(SimTime::ZERO, "tower-1.example", AGW_SIG);
+    }
+    let mut endpoints: Vec<&mut dyn Endpoint> = Vec::with_capacity(n + 3);
+    endpoints.push(&mut enb);
+    endpoints.push(&mut telco);
+    endpoints.push(&mut brokerd);
+    for ue in &mut ues {
+        endpoints.push(ue);
+    }
+    run_until(&mut world, &mut endpoints, SimTime::from_secs(60));
+
+    let latencies: Vec<f64> = ues
+        .iter()
+        .filter(|u| u.attach_latency_ms.count() > 0)
+        .map(|u| u.attach_latency_ms.mean())
+        .collect();
+    let attached = ues.iter().filter(|u| u.is_attached()).count();
+    let max_ms = latencies.iter().cloned().fold(0.0, f64::max);
+    ScaleResult {
+        n,
+        attached,
+        mean_ms: latencies.iter().sum::<f64>() / latencies.len().max(1) as f64,
+        p95_ms: percentile(&latencies, 95.0),
+        max_ms,
+        // The burst completes when the slowest attach finishes.
+        auths_per_sec: attached as f64 / (max_ms / 1e3),
+    }
+}
+
+fn main() {
+    let seed = cellbricks_bench::arg_u64("--seed", 42);
+    println!("Scale — N UEs attaching simultaneously through one bTelco + broker");
+    println!("{}", "-".repeat(72));
+    println!(
+        "{:>6} {:>9} {:>12} {:>12} {:>12} {:>12}",
+        "N", "attached", "mean (ms)", "p95 (ms)", "max (ms)", "auth/s"
+    );
+    println!("{}", "-".repeat(72));
+    for n in [1, 5, 25, 100, 250] {
+        let r = run_scale(n, seed);
+        println!(
+            "{:>6} {:>9} {:>12.1} {:>12.1} {:>12.1} {:>12.0}",
+            r.n, r.attached, r.mean_ms, r.p95_ms, r.max_ms, r.auths_per_sec
+        );
+        assert_eq!(r.attached, r.n, "all UEs must attach");
+    }
+    println!("{}", "-".repeat(72));
+    println!(
+        "reading: every UE attaches; latency grows linearly once the burst\n\
+         saturates the broker's single service queue (~2 ms/authorization\n\
+         here), i.e. the broker — an ordinary web service — is the scaling\n\
+         bottleneck, exactly the architecture's intent (paper §3: brokers\n\
+         need no cellular infrastructure and shard like any online service)."
+    );
+}

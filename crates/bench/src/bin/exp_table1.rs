@@ -1,0 +1,102 @@
+//! Table 1: application performance, CellBricks vs today's MNO, across
+//! three drive routes × day/night × five workloads.
+//!
+//! Paper reference: overall slowdown between −1.61% and +3.06%; MTTHO
+//! per route/time as in the second column; throughput ≈1.1–1.2 Mbps by
+//! day and ≈11–17 Mbps by night; ping p50 ≈44–50 ms; MOS ≈4.25–4.38;
+//! video level ≈2 (day) / ≈4.9 (night); web load ≈5 s (day) / ≈1.8 s
+//! (night).
+//!
+//! Usage: `cargo run --release -p cellbricks-bench --bin exp_table1
+//!         [--duration SECS] [--seed S]`
+
+use cellbricks_apps::emulation::{Arch, Workload};
+use cellbricks_bench::{arg_secs, arg_u64, rule, table1_cell};
+use cellbricks_net::TimeOfDay;
+use cellbricks_ran::RouteKind;
+
+struct Cell {
+    mttho: f64,
+    ping: f64,
+    iperf: f64,
+    mos: f64,
+    video: f64,
+    web: f64,
+}
+
+fn run_arch(route: RouteKind, tod: TimeOfDay, arch: Arch, duration: u64, seed: u64) -> Cell {
+    let ip = table1_cell(route, tod, arch, Workload::Iperf, duration, seed);
+    let pg = table1_cell(route, tod, arch, Workload::Ping, duration, seed);
+    let vo = table1_cell(route, tod, arch, Workload::Voip, duration, seed);
+    let vi = table1_cell(route, tod, arch, Workload::Video, duration, seed);
+    let we = table1_cell(route, tod, arch, Workload::Web, duration, seed);
+    Cell {
+        mttho: ip.mttho_s,
+        ping: pg.ping_p50_ms.unwrap_or(f64::NAN),
+        iperf: ip.iperf_mbps.unwrap_or(f64::NAN),
+        mos: vo.mos.unwrap_or(f64::NAN),
+        video: vi.video_level.unwrap_or(f64::NAN),
+        web: we.web_load_s.unwrap_or(f64::NAN),
+    }
+}
+
+fn main() {
+    let duration = arg_secs("--duration", 600);
+    let seed = arg_u64("--seed", 42);
+    println!(
+        "Table 1 — Application performance, CellBricks vs MNO ({duration}s drives, seed {seed})"
+    );
+    println!("{}", rule(108));
+    println!(
+        "{:<9} {:<3} {:<10} {:>8} {:>10} {:>12} {:>8} {:>12} {:>10}",
+        "route", "tod", "arch", "MTTHO s", "ping p50", "iperf Mbps", "MOS", "video lvl", "web s"
+    );
+    println!("{}", rule(108));
+
+    // Accumulate the paper's "Overall Perf. Slowdown" row: mean relative
+    // CB-vs-MNO slowdown per metric, across routes, split by time of day.
+    let mut slow: [[Vec<f64>; 4]; 2] = Default::default();
+
+    for route in RouteKind::ALL {
+        for (ti, tod) in [TimeOfDay::Day, TimeOfDay::Night].into_iter().enumerate() {
+            let tod_s = match tod {
+                TimeOfDay::Day => "D",
+                TimeOfDay::Night => "N",
+            };
+            eprintln!("running {route:?} {tod:?}...");
+            let mno = run_arch(route, tod, Arch::Mno, duration, seed);
+            let cb = run_arch(route, tod, Arch::CellBricks, duration, seed);
+            for (arch_s, c) in [("MNO", &mno), ("CellBricks", &cb)] {
+                println!(
+                    "{:<9} {:<3} {:<10} {:>8.2} {:>10.2} {:>12.2} {:>8.2} {:>12.2} {:>10.2}",
+                    route.name(),
+                    tod_s,
+                    arch_s,
+                    c.mttho,
+                    c.ping,
+                    c.iperf,
+                    c.mos,
+                    c.video,
+                    c.web
+                );
+            }
+            // Slowdowns: throughput/MOS/video higher-better; web lower-better.
+            slow[ti][0].push((mno.iperf - cb.iperf) / mno.iperf * 100.0);
+            slow[ti][1].push((mno.mos - cb.mos) / mno.mos * 100.0);
+            slow[ti][2].push((mno.video - cb.video) / mno.video * 100.0);
+            slow[ti][3].push((cb.web - mno.web) / mno.web * 100.0);
+        }
+    }
+    println!("{}", rule(108));
+    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+    for (ti, tod_s) in ["D", "N"].iter().enumerate() {
+        println!(
+            "Overall Perf. Slowdown ({tod_s}): iperf {:+.2}%  MOS {:+.2}%  video {:+.2}%  web {:+.2}%",
+            mean(&slow[ti][0]),
+            mean(&slow[ti][1]),
+            mean(&slow[ti][2]),
+            mean(&slow[ti][3]),
+        );
+    }
+    println!("paper reference: overall slowdown −1.61% … +3.06% across metrics");
+}

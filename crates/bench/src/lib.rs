@@ -1,0 +1,157 @@
+//! Shared helpers for the experiment binaries that regenerate the paper's
+//! tables and figures. One binary per table/figure:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `exp_fig7` | Fig. 7 — attach latency breakdown, BL vs CB |
+//! | `exp_table1` | Table 1 — application performance matrix |
+//! | `exp_fig8` | Fig. 8 — throughput timeseries across a handover |
+//! | `exp_fig9` | Fig. 9 — attach-latency factor analysis |
+//! | `exp_fig10` | Fig. 10 — day vs night rate policing |
+//! | `exp_reputation` | §4.3 extension — cheating-bTelco detection |
+//!
+//! Run with `--release`; the Table 1 matrix simulates hours of drive time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cellbricks_apps::emulation::{run, Arch, DriveOutcome, EmulationConfig, Workload};
+use cellbricks_net::TimeOfDay;
+use cellbricks_ran::RouteKind;
+use cellbricks_sim::SimDuration;
+
+/// Parse a `--duration <secs>` style flag from argv, with a default.
+#[must_use]
+pub fn arg_secs(flag: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parse a `--seed <n>` style flag.
+#[must_use]
+pub fn arg_u64(flag: &str, default: u64) -> u64 {
+    arg_secs(flag, default)
+}
+
+/// Render one horizontal rule matching a header width.
+#[must_use]
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+/// One fully-specified Table 1 cell runner.
+#[must_use]
+pub fn table1_cell(
+    route: RouteKind,
+    tod: TimeOfDay,
+    arch: Arch,
+    workload: Workload,
+    duration_s: u64,
+    seed: u64,
+) -> DriveOutcome {
+    let mut cfg = EmulationConfig::new(route, tod, arch, workload);
+    cfg.duration = SimDuration::from_secs(duration_s);
+    cfg.seed = seed;
+    run(&cfg)
+}
+
+/// Fig. 9 variant description.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig9Variant {
+    /// Display label matching the paper's legend.
+    pub label: &'static str,
+    /// Attach latency `d`, milliseconds.
+    pub attach_ms: u64,
+    /// MPTCP address-worker wait, milliseconds.
+    pub wait_ms: u64,
+}
+
+/// The paper's Fig. 9 variants: modified MPTCP (no wait) at three attach
+/// latencies, plus unmodified (500 ms wait).
+pub const FIG9_VARIANTS: [Fig9Variant; 4] = [
+    Fig9Variant {
+        label: "mod. 32ms",
+        attach_ms: 32,
+        wait_ms: 0,
+    },
+    Fig9Variant {
+        label: "mod. 64ms",
+        attach_ms: 64,
+        wait_ms: 0,
+    },
+    Fig9Variant {
+        label: "mod. 128ms",
+        attach_ms: 128,
+        wait_ms: 0,
+    },
+    Fig9Variant {
+        label: "unmod.",
+        attach_ms: 32,
+        wait_ms: 500,
+    },
+];
+
+/// Post-handover relative performance: for each window length `n` in
+/// `1..=max_n` seconds, the mean over handovers of
+/// `Σ bytes_cb[h..h+n] / Σ bytes_tcp[h..h+n]`, in percent.
+#[must_use]
+pub fn relative_after_handover(
+    cb: &cellbricks_sim::TimeSeries,
+    tcp: &cellbricks_sim::TimeSeries,
+    handovers_s: &[f64],
+    max_n: usize,
+) -> Vec<f64> {
+    let cb_sums = cb.sums();
+    let tcp_sums = tcp.sums();
+    let mut out = Vec::with_capacity(max_n);
+    for n in 1..=max_n {
+        let mut ratios = Vec::new();
+        for &h in handovers_s {
+            let start = h as usize;
+            let end = start + n;
+            if end > cb_sums.len() || end > tcp_sums.len() {
+                continue;
+            }
+            let cb_bytes: f64 = cb_sums[start..end].iter().sum();
+            let tcp_bytes: f64 = tcp_sums[start..end].iter().sum();
+            if tcp_bytes > 0.0 {
+                ratios.push(cb_bytes / tcp_bytes * 100.0);
+            }
+        }
+        out.push(if ratios.is_empty() {
+            f64::NAN
+        } else {
+            ratios.iter().sum::<f64>() / ratios.len() as f64
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellbricks_sim::{SimTime, TimeSeries};
+
+    #[test]
+    fn relative_windows_compute() {
+        let mut cb = TimeSeries::new(SimDuration::from_secs(1));
+        let mut tcp = TimeSeries::new(SimDuration::from_secs(1));
+        for i in 0..20 {
+            tcp.record(SimTime::from_secs(i), 100.0);
+            cb.record(SimTime::from_secs(i), if i == 10 { 50.0 } else { 120.0 });
+        }
+        let rel = relative_after_handover(&cb, &tcp, &[10.0], 3);
+        assert!((rel[0] - 50.0).abs() < 1e-9);
+        assert!((rel[1] - 85.0).abs() < 1e-9);
+        assert!(rel[2] > rel[0]);
+    }
+
+    #[test]
+    fn arg_parser_defaults() {
+        assert_eq!(arg_secs("--nope", 77), 77);
+    }
+}

@@ -1,0 +1,416 @@
+//! The bTelco gateway: a CellBricks-native access gateway.
+//!
+//! Composes the EPC substrate (bearers, IP pool, PGW accounting) with the
+//! SAP attach path: instead of EPS-AKA against a SubscriberDB, it relays
+//! `authReqU` to the user's broker with its own QoS capabilities attached
+//! — a single round trip. It also emits periodic signed traffic reports
+//! per session (the bTelco side of the verifiable-billing protocol), and
+//! can be configured dishonest (`overcount_factor`) to exercise the
+//! reputation system.
+
+use crate::brokerd::BrokerWire;
+use crate::principal::TelcoKeys;
+use crate::sap::{self, QosCap, RespTBody};
+use bytes::Bytes;
+use cellbricks_crypto::ed25519::VerifyingKey;
+use cellbricks_crypto::x25519::X25519PublicKey;
+use cellbricks_epc::gateway::{BearerTable, IpPool};
+use cellbricks_epc::nas::NasMessage;
+use cellbricks_net::{Endpoint, NodeId, Packet, PacketKind};
+use cellbricks_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// How a bTelco reaches (and seals reports to) a broker.
+#[derive(Clone)]
+pub struct BrokerContact {
+    /// Control-plane address of `brokerd`.
+    pub ctrl_ip: Ipv4Addr,
+    /// The broker's encryption public key (published, like any service
+    /// key, via the PKI/directory the paper assumes).
+    pub encrypt_pk: X25519PublicKey,
+}
+
+/// bTelco gateway configuration.
+#[derive(Clone)]
+pub struct BTelcoGatewayConfig {
+    /// Signalling address.
+    pub sig_ip: Ipv4Addr,
+    /// UE address pool base (a /16).
+    pub pool_base: Ipv4Addr,
+    /// Keys + certificate.
+    pub keys: TelcoKeys,
+    /// CA public key (to verify broker replies).
+    pub ca: VerifyingKey,
+    /// Brokers this bTelco can reach, by name.
+    pub brokers: HashMap<String, BrokerContact>,
+    /// QoS this deployment can enforce.
+    pub qos_cap: QosCap,
+    /// Per-control-message processing delay (the CellBricks "AGW" slice
+    /// of Fig. 7, including the signature/sealing work).
+    pub proc_delay: SimDuration,
+    /// Billing report interval.
+    pub report_interval: SimDuration,
+    /// Usage inflation factor: 1.0 = honest; >1 inflates DL usage in
+    /// reports (the "dishonest but not malicious" threat of §4.3).
+    pub overcount_factor: f64,
+}
+
+struct SessionState {
+    session_id: u64,
+    broker_name: String,
+    seq: u32,
+    /// Counter snapshots at the last report.
+    last_dl: u64,
+    last_ul: u64,
+    last_cycle_at: SimTime,
+}
+
+struct PendingAttach {
+    ue_sig: Ipv4Addr,
+    broker_name: String,
+}
+
+/// The bTelco gateway endpoint.
+pub struct BTelcoGateway {
+    node: NodeId,
+    cfg: BTelcoGatewayConfig,
+    pool: IpPool,
+    /// Active bearers (public for harness inspection).
+    pub bearers: BearerTable,
+    sessions: HashMap<Ipv4Addr, SessionState>,
+    pending_attach: HashMap<u64, PendingAttach>,
+    pending: EventQueue<Packet>,
+    next_req_id: u64,
+    next_report_at: SimTime,
+    rng: SimRng,
+    /// Accumulated control-plane processing time (Fig. 7 accounting).
+    pub proc_time: SimDuration,
+    /// Attaches completed.
+    pub attach_count: u64,
+    /// Attaches rejected (by broker or locally).
+    pub reject_count: u64,
+    /// Data packets dropped for lack of a bearer.
+    pub no_bearer_drops: u64,
+}
+
+impl BTelcoGateway {
+    /// Create the gateway on `node`.
+    #[must_use]
+    pub fn new(node: NodeId, cfg: BTelcoGatewayConfig, rng: SimRng) -> Self {
+        let pool = IpPool::new(cfg.pool_base);
+        let next_report_at = SimTime::ZERO + cfg.report_interval;
+        Self {
+            node,
+            cfg,
+            pool,
+            bearers: BearerTable::new(),
+            sessions: HashMap::new(),
+            pending_attach: HashMap::new(),
+            pending: EventQueue::new(),
+            next_req_id: 1,
+            next_report_at,
+            rng,
+            proc_time: SimDuration::ZERO,
+            attach_count: 0,
+            reject_count: 0,
+            no_bearer_drops: 0,
+        }
+    }
+
+    /// The /16 this gateway allocates UE addresses from.
+    #[must_use]
+    pub fn pool_network(&self) -> Ipv4Addr {
+        self.pool.network()
+    }
+
+    /// Reset Fig. 7 accounting.
+    pub fn reset_accounting(&mut self) {
+        self.proc_time = SimDuration::ZERO;
+    }
+
+    /// Change the usage-inflation factor at runtime (experiments that
+    /// turn a bTelco dishonest mid-run).
+    pub fn set_overcount_factor(&mut self, factor: f64) {
+        self.cfg.overcount_factor = factor;
+    }
+
+    fn emit_control(&mut self, now: SimTime, dst: Ipv4Addr, bytes: Bytes) {
+        self.proc_time = self.proc_time + self.cfg.proc_delay;
+        let pkt = Packet::control(self.cfg.sig_ip, dst, bytes);
+        self.pending.push(now + self.cfg.proc_delay, pkt);
+    }
+
+    fn on_sap_attach(&mut self, now: SimTime, ue_sig: Ipv4Addr, broker_id: &str, payload: &[u8]) {
+        let Some(req_u) = sap::AuthReqU::decode(payload) else {
+            self.reject_count += 1;
+            self.emit_control(
+                now,
+                ue_sig,
+                NasMessage::SapAttachReject { ue_sig, cause: 1 }.encode(),
+            );
+            return;
+        };
+        let Some(contact) = self.cfg.brokers.get(broker_id) else {
+            // Unknown broker: this bTelco cannot serve the user.
+            self.reject_count += 1;
+            self.emit_control(
+                now,
+                ue_sig,
+                NasMessage::SapAttachReject { ue_sig, cause: 2 }.encode(),
+            );
+            return;
+        };
+        let ctrl_ip = contact.ctrl_ip;
+        let req_t = sap::telco_wrap_request(&self.cfg.keys, req_u, self.cfg.qos_cap.clone());
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        self.pending_attach.insert(
+            req_id,
+            PendingAttach {
+                ue_sig,
+                broker_name: broker_id.to_string(),
+            },
+        );
+        self.emit_control(
+            now,
+            ctrl_ip,
+            BrokerWire::AuthReq {
+                req_id,
+                req_t: req_t.encode(),
+            }
+            .encode(),
+        );
+    }
+
+    fn on_broker_reply(&mut self, now: SimTime, msg: BrokerWire) {
+        match msg {
+            BrokerWire::AuthOk { req_id, reply } => {
+                let Some(pending) = self.pending_attach.remove(&req_id) else {
+                    return;
+                };
+                let Some(reply) = sap::BrokerReply::decode(&reply) else {
+                    self.reject_count += 1;
+                    return;
+                };
+                let body: RespTBody =
+                    match sap::telco_verify_reply(&self.cfg.keys, &self.cfg.ca, &reply) {
+                        Ok(b) => b,
+                        Err(_) => {
+                            self.reject_count += 1;
+                            self.emit_control(
+                                now,
+                                pending.ue_sig,
+                                NasMessage::SapAttachReject {
+                                    ue_sig: pending.ue_sig,
+                                    cause: 3,
+                                }
+                                .encode(),
+                            );
+                            return;
+                        }
+                    };
+                let Some(ue_ip) = self.pool.allocate() else {
+                    self.reject_count += 1;
+                    self.emit_control(
+                        now,
+                        pending.ue_sig,
+                        NasMessage::SapAttachReject {
+                            ue_sig: pending.ue_sig,
+                            cause: 4,
+                        }
+                        .encode(),
+                    );
+                    return;
+                };
+                // The bearer is keyed by the UE *alias* — the bTelco never
+                // learns the user's identity.
+                let bearer_id = self.bearers.establish(
+                    body.ue_alias,
+                    ue_ip,
+                    pending.ue_sig,
+                    Some(body.qos.mbr_bps as f64),
+                    now,
+                );
+                self.sessions.insert(
+                    ue_ip,
+                    SessionState {
+                        session_id: body.session_id,
+                        broker_name: pending.broker_name,
+                        seq: 0,
+                        last_dl: 0,
+                        last_ul: 0,
+                        last_cycle_at: now,
+                    },
+                );
+                self.attach_count += 1;
+                self.emit_control(
+                    now,
+                    pending.ue_sig,
+                    NasMessage::SapAttachAccept {
+                        ue_sig: pending.ue_sig,
+                        ue_ip,
+                        bearer_id,
+                        payload: Bytes::from(reply.resp_u.encode().to_vec()),
+                    }
+                    .encode(),
+                );
+            }
+            BrokerWire::AuthErr { req_id, .. } => {
+                if let Some(pending) = self.pending_attach.remove(&req_id) {
+                    self.reject_count += 1;
+                    self.emit_control(
+                        now,
+                        pending.ue_sig,
+                        NasMessage::SapAttachReject {
+                            ue_sig: pending.ue_sig,
+                            cause: 5,
+                        }
+                        .encode(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_detach(&mut self, now: SimTime, ue_ip: Ipv4Addr) {
+        // Final report for the closing cycle, then release.
+        self.emit_session_report(now, ue_ip);
+        if let Some(b) = self.bearers.release(ue_ip) {
+            self.pool.release(b.ue_ip);
+        }
+        self.sessions.remove(&ue_ip);
+    }
+
+    fn emit_session_report(&mut self, now: SimTime, ue_ip: Ipv4Addr) {
+        let Some(bearer) = self.bearers.get(ue_ip) else {
+            return;
+        };
+        let (dl_total, ul_total) = (bearer.dl_bytes, bearer.ul_bytes);
+        let Some(session) = self.sessions.get_mut(&ue_ip) else {
+            return;
+        };
+        let dl = dl_total - session.last_dl;
+        let ul = ul_total - session.last_ul;
+        let elapsed = now.saturating_since(session.last_cycle_at);
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        // A dishonest bTelco inflates its reported downlink usage.
+        let reported_dl = (dl as f64 * self.cfg.overcount_factor) as u64;
+        let report = crate::billing::TrafficReport {
+            session_id: session.session_id,
+            seq: session.seq,
+            ul_bytes: ul,
+            dl_bytes: reported_dl,
+            duration_ms: (secs * 1e3) as u64,
+            dl_loss_ppm: 0,
+            ul_loss_ppm: 0,
+            avg_dl_kbps: (reported_dl as f64 * 8.0 / secs / 1e3) as u32,
+            avg_ul_kbps: (ul as f64 * 8.0 / secs / 1e3) as u32,
+            delay_ms: 0,
+        };
+        session.seq += 1;
+        session.last_dl = dl_total;
+        session.last_ul = ul_total;
+        session.last_cycle_at = now;
+        let session_id = session.session_id;
+        let broker_name = session.broker_name.clone();
+        let Some(contact) = self.cfg.brokers.get(&broker_name) else {
+            return;
+        };
+        let ctrl_ip = contact.ctrl_ip;
+        let sealed = report.sign_and_seal(&self.cfg.keys.sign, &contact.encrypt_pk, &mut self.rng);
+        let msg = BrokerWire::Report {
+            session_id,
+            from_ue: false,
+            sealed,
+        };
+        let pkt = Packet::control(self.cfg.sig_ip, ctrl_ip, msg.encode());
+        self.pending.push(now, pkt);
+    }
+}
+
+impl Endpoint for BTelcoGateway {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn handle_packet(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<Packet>) {
+        match &pkt.kind {
+            PacketKind::Control(bytes) => {
+                if pkt.dst != self.cfg.sig_ip {
+                    out.push(pkt.clone());
+                    return;
+                }
+                if let Some(msg) = NasMessage::decode(bytes) {
+                    match msg {
+                        NasMessage::SapAttachRequest {
+                            ue_sig,
+                            broker_id,
+                            payload,
+                        } => self.on_sap_attach(now, ue_sig, &broker_id, &payload),
+                        NasMessage::DetachRequest { .. } => {
+                            // The UE is identified by its signalling
+                            // address (it has no IMSI in CellBricks).
+                            let ip = self
+                                .bearers
+                                .iter()
+                                .find(|b| b.ue_sig == pkt.src)
+                                .map(|b| b.ue_ip);
+                            if let Some(ip) = ip {
+                                self.on_detach(now, ip);
+                            }
+                        }
+                        _ => {}
+                    }
+                } else if let Some(msg) = BrokerWire::decode(bytes) {
+                    self.on_broker_reply(now, msg);
+                }
+            }
+            // Data plane: PGW forwarding with accounting and MBR
+            // enforcement of the broker-granted qosInfo (paper §4.1:
+            // "B can then send specific parameter values (qosInfo)"
+            // which T implements).
+            _ => {
+                let size = pkt.wire_size();
+                if let Some(b) = self.bearers.get_mut(pkt.dst) {
+                    if b.police_dl(now, size) {
+                        b.dl_bytes += u64::from(size);
+                        out.push(pkt);
+                    }
+                } else if let Some(b) = self.bearers.get_mut(pkt.src) {
+                    b.ul_bytes += u64::from(size);
+                    out.push(pkt);
+                } else {
+                    self.no_bearer_drops += 1;
+                }
+            }
+        }
+    }
+
+    fn poll_at(&self) -> Option<SimTime> {
+        let report_at = if self.sessions.is_empty() {
+            None
+        } else {
+            Some(self.next_report_at)
+        };
+        match (self.pending.peek_time(), report_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+    }
+
+    fn poll(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        if now >= self.next_report_at {
+            let ips: Vec<Ipv4Addr> = self.sessions.keys().copied().collect();
+            for ip in ips {
+                self.emit_session_report(now, ip);
+            }
+            self.next_report_at = now + self.cfg.report_interval;
+        }
+        while let Some((_, pkt)) = self.pending.pop_due(now) {
+            out.push(pkt);
+        }
+    }
+}

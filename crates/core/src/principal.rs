@@ -1,0 +1,176 @@
+//! Key bundles and identities for the three CellBricks principals.
+//!
+//! Every principal holds an Ed25519 signing pair and an X25519 encryption
+//! pair. Broker and bTelco keys carry CA certificates; UE key pairs are
+//! issued by the user's broker and live only in the broker's subscriber
+//! database (paper §4.1: "no certificates are needed for U's public
+//! keys").
+
+use cellbricks_crypto::cert::{Certificate, CertificateAuthority, Role};
+use cellbricks_crypto::ed25519::{SigningKey, VerifyingKey};
+use cellbricks_crypto::sha2::sha256;
+use cellbricks_crypto::x25519::{X25519PublicKey, X25519SecretKey};
+use cellbricks_sim::SimRng;
+
+/// A 16-byte principal identifier — the digest of the owner's public key
+/// (or, for brokers/bTelcos, of their subject name).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Identity(pub [u8; 16]);
+
+impl Identity {
+    /// Identity from a public key (used for UEs).
+    #[must_use]
+    pub fn of_key(key: &VerifyingKey) -> Identity {
+        let d = sha256(&key.0);
+        let mut id = [0u8; 16];
+        id.copy_from_slice(&d[..16]);
+        Identity(id)
+    }
+
+    /// Identity from a subject name (used for brokers and bTelcos, whose
+    /// names are bound to keys via certificates).
+    #[must_use]
+    pub fn of_name(name: &str) -> Identity {
+        let d = sha256(name.as_bytes());
+        let mut id = [0u8; 16];
+        id.copy_from_slice(&d[..16]);
+        Identity(id)
+    }
+}
+
+/// A UE's key bundle (issued by its broker; provisioned on the SIM).
+#[derive(Clone)]
+pub struct UeKeys {
+    /// Signing key.
+    pub sign: SigningKey,
+    /// Encryption key.
+    pub encrypt: X25519SecretKey,
+}
+
+impl UeKeys {
+    /// Generate a bundle.
+    #[must_use]
+    pub fn generate(rng: &mut SimRng) -> UeKeys {
+        UeKeys {
+            sign: SigningKey::from_seed(rng.seed32()),
+            encrypt: X25519SecretKey(rng.seed32()),
+        }
+    }
+
+    /// The UE's identity (digest of its signing key).
+    #[must_use]
+    pub fn identity(&self) -> Identity {
+        Identity::of_key(&self.sign.verifying_key())
+    }
+
+    /// Public halves, as stored in the broker's subscriber DB.
+    #[must_use]
+    pub fn public(&self) -> (VerifyingKey, X25519PublicKey) {
+        (self.sign.verifying_key(), self.encrypt.public_key())
+    }
+}
+
+/// A broker's key bundle plus its CA certificate.
+#[derive(Clone)]
+pub struct BrokerKeys {
+    /// Subject name (e.g. "broker.example").
+    pub name: String,
+    /// Signing key.
+    pub sign: SigningKey,
+    /// Encryption key.
+    pub encrypt: X25519SecretKey,
+    /// CA certificate over the signing key.
+    pub cert: Certificate,
+}
+
+impl BrokerKeys {
+    /// Generate and certify a broker key bundle.
+    #[must_use]
+    pub fn generate(name: &str, ca: &CertificateAuthority, rng: &mut SimRng) -> BrokerKeys {
+        let sign = SigningKey::from_seed(rng.seed32());
+        let cert = ca.issue(name, Role::Broker, sign.verifying_key(), u64::MAX);
+        BrokerKeys {
+            name: name.to_string(),
+            sign,
+            encrypt: X25519SecretKey(rng.seed32()),
+            cert,
+        }
+    }
+
+    /// The broker's identity.
+    #[must_use]
+    pub fn identity(&self) -> Identity {
+        Identity::of_name(&self.name)
+    }
+}
+
+/// A bTelco's key bundle plus its CA certificate.
+#[derive(Clone)]
+pub struct TelcoKeys {
+    /// Subject name (e.g. "tower-17.btelco.example").
+    pub name: String,
+    /// Signing key.
+    pub sign: SigningKey,
+    /// Encryption key.
+    pub encrypt: X25519SecretKey,
+    /// CA certificate over the signing key.
+    pub cert: Certificate,
+}
+
+impl TelcoKeys {
+    /// Generate and certify a bTelco key bundle.
+    #[must_use]
+    pub fn generate(name: &str, ca: &CertificateAuthority, rng: &mut SimRng) -> TelcoKeys {
+        let sign = SigningKey::from_seed(rng.seed32());
+        let cert = ca.issue(name, Role::BTelco, sign.verifying_key(), u64::MAX);
+        TelcoKeys {
+            name: name.to_string(),
+            sign,
+            encrypt: X25519SecretKey(rng.seed32()),
+            cert,
+        }
+    }
+
+    /// The bTelco's identity.
+    #[must_use]
+    pub fn identity(&self) -> Identity {
+        Identity::of_name(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellbricks_crypto::cert::CertificateError;
+
+    #[test]
+    fn identities_are_stable_and_distinct() {
+        let mut rng = SimRng::new(1);
+        let a = UeKeys::generate(&mut rng);
+        let b = UeKeys::generate(&mut rng);
+        assert_eq!(a.identity(), a.identity());
+        assert_ne!(a.identity(), b.identity());
+        assert_ne!(Identity::of_name("x"), Identity::of_name("y"));
+    }
+
+    #[test]
+    fn telco_cert_verifies_with_role() {
+        let ca = CertificateAuthority::from_seed([1; 32]);
+        let mut rng = SimRng::new(2);
+        let t = TelcoKeys::generate("tower-1.example", &ca, &mut rng);
+        assert!(t.cert.verify(&ca.public_key(), Role::BTelco, 0).is_ok());
+        assert_eq!(
+            t.cert.verify(&ca.public_key(), Role::Broker, 0),
+            Err(CertificateError::WrongRole)
+        );
+    }
+
+    #[test]
+    fn broker_cert_verifies() {
+        let ca = CertificateAuthority::from_seed([1; 32]);
+        let mut rng = SimRng::new(3);
+        let b = BrokerKeys::generate("broker.example", &ca, &mut rng);
+        assert!(b.cert.verify(&ca.public_key(), Role::Broker, 0).is_ok());
+        assert_eq!(b.identity(), Identity::of_name("broker.example"));
+    }
+}

@@ -1,0 +1,292 @@
+//! The broker's reputation system (paper §4.3, Fig. 5).
+//!
+//! The broker keeps (i) a per-bTelco aggregate reputation score derived
+//! from billing-report mismatches, weighted by degree, and (ii) a list of
+//! its own users suspected of tampering. Both feed the attachment
+//! authorization decision. The paper leaves the exact weighting "open to
+//! innovation"; we implement the simple heuristic its Fig. 5 sketches,
+//! with an exponential decay so bTelcos can redeem themselves.
+
+use crate::billing::CycleVerdict;
+use crate::principal::Identity;
+use std::collections::{HashMap, HashSet};
+
+/// Prior "clean history" mass: a new bTelco is treated as if it already
+/// had this many consistent cycles, so a single mismatch cannot ban it
+/// (the paper tolerates occasional small discrepancies) while persistent
+/// cheating still drags the score down.
+const PRIOR_MASS: f64 = 5.0;
+
+/// Per-bTelco record.
+#[derive(Clone, Debug)]
+struct TelcoRecord {
+    /// Cycles verified.
+    cycles: u64,
+    /// Mismatches observed.
+    mismatches: u64,
+    /// Decayed, degree-weighted mismatch mass.
+    weight: f64,
+    /// Decayed cycle mass (denominator for the score).
+    mass: f64,
+}
+
+impl Default for TelcoRecord {
+    fn default() -> Self {
+        Self {
+            cycles: 0,
+            mismatches: 0,
+            weight: 0.0,
+            mass: PRIOR_MASS,
+        }
+    }
+}
+
+/// Reputation state kept by a broker.
+pub struct ReputationSystem {
+    telcos: HashMap<Identity, TelcoRecord>,
+    suspects: HashSet<Identity>,
+    /// Per-cycle decay applied to history (1.0 = never forget).
+    pub decay: f64,
+    /// Minimum score required to authorize an attachment.
+    pub admit_threshold: f64,
+}
+
+impl Default for ReputationSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReputationSystem {
+    /// A fresh reputation system with default policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            telcos: HashMap::new(),
+            suspects: HashSet::new(),
+            decay: 0.99,
+            admit_threshold: 0.7,
+        }
+    }
+
+    /// Record one verified billing cycle for `telco`.
+    pub fn record_cycle(&mut self, telco: Identity, verdict: CycleVerdict) {
+        let rec = self.telcos.entry(telco).or_default();
+        rec.cycles += 1;
+        rec.weight *= self.decay;
+        rec.mass = rec.mass * self.decay + 1.0;
+        if let CycleVerdict::Mismatch { weight } = verdict {
+            rec.mismatches += 1;
+            // The paper flags "a large or persistent discrepancy": every
+            // mismatch carries a base penalty (persistence) plus a
+            // degree-proportional term (magnitude — a 2x inflation hurts
+            // far more than 1%).
+            rec.weight += (0.25 + 0.75 * weight).min(1.0);
+        }
+    }
+
+    /// The aggregate score for `telco` in `[0, 1]`; unknown bTelcos get
+    /// the benefit of the doubt (1.0) — the barrier to entry stays low.
+    #[must_use]
+    pub fn score(&self, telco: Identity) -> f64 {
+        match self.telcos.get(&telco) {
+            None => 1.0,
+            Some(rec) if rec.mass == 0.0 => 1.0,
+            Some(rec) => (1.0 - rec.weight / rec.mass).clamp(0.0, 1.0),
+        }
+    }
+
+    /// The authorization decision used during SAP processing.
+    #[must_use]
+    pub fn admit(&self, telco: Identity) -> bool {
+        self.score(telco) >= self.admit_threshold
+    }
+
+    /// Mark one of our users as suspected of tampering with reports.
+    pub fn mark_suspect(&mut self, user: Identity) {
+        self.suspects.insert(user);
+    }
+
+    /// Is this user on the suspect list?
+    #[must_use]
+    pub fn is_suspect(&self, user: Identity) -> bool {
+        self.suspects.contains(&user)
+    }
+
+    /// Mismatch count observed for a bTelco (diagnostics).
+    #[must_use]
+    pub fn mismatches(&self, telco: Identity) -> u64 {
+        self.telcos.get(&telco).map_or(0, |r| r.mismatches)
+    }
+
+    /// Cycles verified for a bTelco (diagnostics).
+    #[must_use]
+    pub fn cycles(&self, telco: Identity) -> u64 {
+        self.telcos.get(&telco).map_or(0, |r| r.cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u8) -> Identity {
+        Identity([n; 16])
+    }
+
+    #[test]
+    fn unknown_telco_trusted() {
+        let rep = ReputationSystem::new();
+        assert_eq!(rep.score(id(1)), 1.0);
+        assert!(rep.admit(id(1)));
+    }
+
+    #[test]
+    fn honest_telco_keeps_perfect_score() {
+        let mut rep = ReputationSystem::new();
+        for _ in 0..100 {
+            rep.record_cycle(id(1), CycleVerdict::Consistent);
+        }
+        assert_eq!(rep.score(id(1)), 1.0);
+        assert_eq!(rep.cycles(id(1)), 100);
+        assert_eq!(rep.mismatches(id(1)), 0);
+    }
+
+    #[test]
+    fn persistent_cheater_loses_admission() {
+        let mut rep = ReputationSystem::new();
+        for _ in 0..50 {
+            rep.record_cycle(id(2), CycleVerdict::Mismatch { weight: 0.8 });
+        }
+        assert!(rep.score(id(2)) < 0.5, "score {}", rep.score(id(2)));
+        assert!(!rep.admit(id(2)));
+    }
+
+    #[test]
+    fn small_discrepancies_tolerated() {
+        let mut rep = ReputationSystem::new();
+        // 5% of cycles have a tiny mismatch: expected and tolerated.
+        for i in 0..200 {
+            let verdict = if i % 20 == 0 {
+                CycleVerdict::Mismatch { weight: 0.02 }
+            } else {
+                CycleVerdict::Consistent
+            };
+            rep.record_cycle(id(3), verdict);
+        }
+        assert!(rep.admit(id(3)), "score {}", rep.score(id(3)));
+    }
+
+    #[test]
+    fn degree_weighting_matters() {
+        let mut small = ReputationSystem::new();
+        let mut large = ReputationSystem::new();
+        for _ in 0..20 {
+            small.record_cycle(id(1), CycleVerdict::Mismatch { weight: 0.05 });
+            large.record_cycle(id(1), CycleVerdict::Mismatch { weight: 0.9 });
+        }
+        assert!(small.score(id(1)) > large.score(id(1)));
+    }
+
+    #[test]
+    fn cheater_can_redeem_through_decay() {
+        let mut rep = ReputationSystem::new();
+        rep.decay = 0.9;
+        for _ in 0..30 {
+            rep.record_cycle(id(4), CycleVerdict::Mismatch { weight: 1.0 });
+        }
+        assert!(!rep.admit(id(4)));
+        for _ in 0..200 {
+            rep.record_cycle(id(4), CycleVerdict::Consistent);
+        }
+        assert!(rep.admit(id(4)), "redeemed score {}", rep.score(id(4)));
+    }
+
+    #[test]
+    fn suspects_tracked_separately() {
+        let mut rep = ReputationSystem::new();
+        assert!(!rep.is_suspect(id(5)));
+        rep.mark_suspect(id(5));
+        assert!(rep.is_suspect(id(5)));
+        // Suspecting a user doesn't touch telco scores.
+        assert_eq!(rep.score(id(5)), 1.0);
+    }
+
+    #[test]
+    fn scores_are_independent_across_telcos() {
+        let mut rep = ReputationSystem::new();
+        for _ in 0..50 {
+            rep.record_cycle(id(6), CycleVerdict::Mismatch { weight: 1.0 });
+            rep.record_cycle(id(7), CycleVerdict::Consistent);
+        }
+        assert!(!rep.admit(id(6)));
+        assert!(rep.admit(id(7)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::billing::CycleVerdict;
+    use proptest::prelude::*;
+
+    fn arb_verdict() -> impl Strategy<Value = CycleVerdict> {
+        prop_oneof![
+            Just(CycleVerdict::Consistent),
+            (0.0f64..2.0).prop_map(|weight| CycleVerdict::Mismatch { weight }),
+        ]
+    }
+
+    proptest! {
+        /// Scores stay in [0, 1] under arbitrary verdict sequences, and a
+        /// fully consistent history keeps a perfect score.
+        #[test]
+        fn prop_score_bounded(
+            verdicts in proptest::collection::vec(arb_verdict(), 0..300),
+        ) {
+            let mut rep = ReputationSystem::new();
+            let telco = Identity([1; 16]);
+            let mut all_consistent = true;
+            for v in verdicts {
+                if matches!(v, CycleVerdict::Mismatch { .. }) {
+                    all_consistent = false;
+                }
+                rep.record_cycle(telco, v);
+                let s = rep.score(telco);
+                prop_assert!((0.0..=1.0).contains(&s), "score {s}");
+            }
+            if all_consistent {
+                prop_assert_eq!(rep.score(telco), 1.0);
+            }
+        }
+
+        /// Comparative monotonicity: for any shared history, ending with
+        /// a mismatch can never score better than ending with a
+        /// consistent cycle, and a consistent ending never lowers the
+        /// score. (Strict per-verdict monotonicity does not hold: with
+        /// decayed averaging, a *mild* mismatch can raise the average of
+        /// a terrible history — which is the intended redemption path.)
+        #[test]
+        fn prop_mismatch_never_beats_consistent(
+            prefix in proptest::collection::vec(arb_verdict(), 0..80),
+            weight in 0.0f64..1.5,
+        ) {
+            let telco = Identity([2; 16]);
+            let mut rep = ReputationSystem::new();
+            for v in &prefix {
+                rep.record_cycle(telco, *v);
+            }
+            let before = rep.score(telco);
+            let mut worse = ReputationSystem::new();
+            let mut better = ReputationSystem::new();
+            for v in &prefix {
+                worse.record_cycle(telco, *v);
+                better.record_cycle(telco, *v);
+            }
+            worse.record_cycle(telco, CycleVerdict::Mismatch { weight });
+            better.record_cycle(telco, CycleVerdict::Consistent);
+            prop_assert!(worse.score(telco) <= better.score(telco) + 1e-9);
+            prop_assert!(better.score(telco) >= before - 1e-9);
+        }
+    }
+}

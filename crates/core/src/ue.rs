@@ -1,0 +1,376 @@
+//! The CellBricks UE: SAP client, host transport stack, sealed baseband
+//! meter, and the host-driven mobility manager (paper Fig. 4).
+//!
+//! The device owns a [`cellbricks_transport::Host`], so the detach/attach
+//! cycle drives MPTCP's address events exactly as the paper describes:
+//! detaching invalidates the interface address (subflows stall, the
+//! address worker arms); a successful SAP attach assigns the new address
+//! (a fresh subflow joins and traffic resumes).
+
+use crate::billing::BasebandMeter;
+use crate::brokerd::BrokerWire;
+use crate::principal::{Identity, UeKeys};
+use crate::sap::{self, SignedSealed};
+use bytes::Bytes;
+use cellbricks_crypto::ed25519::VerifyingKey;
+use cellbricks_crypto::x25519::X25519PublicKey;
+use cellbricks_epc::nas::NasMessage;
+use cellbricks_net::{Endpoint, NodeId, Packet, PacketKind};
+use cellbricks_sim::{EventQueue, SimDuration, SimRng, SimTime, Summary};
+use cellbricks_transport::Host;
+use std::net::Ipv4Addr;
+
+/// UE device configuration.
+#[derive(Clone)]
+pub struct UeDeviceConfig {
+    /// Permanent signalling address.
+    pub ue_sig: Ipv4Addr,
+    /// Broker-issued key bundle (on the SIM).
+    pub keys: UeKeys,
+    /// The broker's name (SIM-pinned).
+    pub broker_name: String,
+    /// The broker's signing key (SIM-pinned).
+    pub broker_sign_pk: VerifyingKey,
+    /// The broker's encryption key (SIM-pinned).
+    pub broker_encrypt_pk: X25519PublicKey,
+    /// Where UE traffic reports go.
+    pub broker_ctrl_ip: Ipv4Addr,
+    /// Cost of building `authReqU` (sealing + signing).
+    pub proc_delay: SimDuration,
+    /// Cost of verifying `authRespU`.
+    pub verify_delay: SimDuration,
+    /// Billing report interval.
+    pub report_interval: SimDuration,
+    /// Re-send the SAP request if no answer arrives within this window
+    /// (signalling can be lost to radio conditions).
+    pub attach_retry_after: SimDuration,
+    /// Attempts before giving up on a target bTelco.
+    pub attach_max_tries: u32,
+}
+
+struct PendingAttach {
+    nonce: [u8; 16],
+    id_t: Identity,
+    agw_sig: Ipv4Addr,
+    started: SimTime,
+    retries_left: u32,
+}
+
+struct Serving {
+    /// The serving bTelco's signalling address.
+    pub agw_sig: Ipv4Addr,
+    /// The serving bTelco.
+    pub id_t: Identity,
+    /// Billing session.
+    pub session_id: u64,
+}
+
+enum Deferred {
+    /// A verified-pending SapAttachAccept.
+    Accept { ue_ip: Ipv4Addr, payload: Bytes },
+}
+
+/// The CellBricks UE device endpoint.
+pub struct UeDevice {
+    node: NodeId,
+    cfg: UeDeviceConfig,
+    /// The device's transport stack (TCP/MPTCP/UDP sockets live here).
+    pub host: Host,
+    rng: SimRng,
+    attach: Option<PendingAttach>,
+    serving: Option<Serving>,
+    meter: Option<BasebandMeter>,
+    pending: EventQueue<Packet>,
+    deferred: EventQueue<Deferred>,
+    next_report_at: Option<SimTime>,
+    attach_deadline: Option<SimTime>,
+    /// Attach latency samples, milliseconds.
+    pub attach_latency_ms: Summary,
+    /// Attach failures.
+    pub failures: u64,
+    /// Successful attaches.
+    pub attaches: u64,
+    /// Accumulated SAP processing time (Fig. 7 accounting).
+    pub proc_time: SimDuration,
+    /// Attach requests re-sent after signalling loss.
+    pub attach_retries: u64,
+}
+
+impl UeDevice {
+    /// Create the device on `node`.
+    #[must_use]
+    pub fn new(node: NodeId, cfg: UeDeviceConfig, rng: SimRng) -> Self {
+        Self {
+            host: Host::new(node, None),
+            node,
+            cfg,
+            rng,
+            attach: None,
+            serving: None,
+            meter: None,
+            pending: EventQueue::new(),
+            deferred: EventQueue::new(),
+            next_report_at: None,
+            attach_deadline: None,
+            attach_latency_ms: Summary::new(),
+            failures: 0,
+            attaches: 0,
+            proc_time: SimDuration::ZERO,
+            attach_retries: 0,
+        }
+    }
+
+    /// The current serving bTelco, if attached.
+    #[must_use]
+    pub fn serving_telco(&self) -> Option<Identity> {
+        self.serving.as_ref().map(|s| s.id_t)
+    }
+
+    /// The current billing session, if attached.
+    #[must_use]
+    pub fn session_id(&self) -> Option<u64> {
+        self.serving.as_ref().map(|s| s.session_id)
+    }
+
+    /// True once attached (address assigned).
+    #[must_use]
+    pub fn is_attached(&self) -> bool {
+        self.serving.is_some() && self.host.addr().is_some()
+    }
+
+    /// Reset Fig. 7 accounting.
+    pub fn reset_accounting(&mut self) {
+        self.proc_time = SimDuration::ZERO;
+    }
+
+    /// Begin a SAP attach to the bTelco named `telco_name`, reachable at
+    /// `agw_sig`. Latency is measured from this call to verified accept.
+    /// Lost signalling is retried with a *fresh* request (fresh nonce —
+    /// the broker rejects replays) up to `attach_max_tries` times.
+    pub fn start_attach(&mut self, now: SimTime, telco_name: &str, agw_sig: Ipv4Addr) {
+        self.attach = Some(PendingAttach {
+            nonce: [0; 16], // Filled by issue_attach_request.
+            id_t: Identity::of_name(telco_name),
+            agw_sig,
+            started: now,
+            retries_left: self.cfg.attach_max_tries.saturating_sub(1),
+        });
+        self.issue_attach_request(now);
+    }
+
+    fn issue_attach_request(&mut self, now: SimTime) {
+        let Some(pending) = self.attach.as_mut() else {
+            return;
+        };
+        let (req, nonce) = sap::ue_build_request(
+            &self.cfg.keys,
+            &self.cfg.broker_name,
+            &self.cfg.broker_encrypt_pk,
+            pending.id_t,
+            &mut self.rng,
+        );
+        pending.nonce = nonce;
+        let agw_sig = pending.agw_sig;
+        let msg = NasMessage::SapAttachRequest {
+            ue_sig: self.cfg.ue_sig,
+            broker_id: self.cfg.broker_name.clone(),
+            payload: Bytes::from(req.encode().to_vec()),
+        };
+        self.proc_time = self.proc_time + self.cfg.proc_delay;
+        self.attach_deadline = Some(now + self.cfg.attach_retry_after);
+        self.pending.push(
+            now + self.cfg.proc_delay,
+            Packet::control(self.cfg.ue_sig, agw_sig, msg.encode()),
+        );
+    }
+
+    /// Detach from the serving bTelco: emit the final billing report,
+    /// notify the bTelco, and invalidate the interface address (which
+    /// arms MPTCP's address worker — Fig. 4's detachment procedure).
+    pub fn detach(&mut self, now: SimTime) {
+        self.emit_report(now);
+        if let Some(serving) = self.serving.take() {
+            self.pending.push(
+                now,
+                Packet::control(
+                    self.cfg.ue_sig,
+                    serving.agw_sig,
+                    NasMessage::DetachRequest { imsi: 0 }.encode(),
+                ),
+            );
+        }
+        self.meter = None;
+        self.next_report_at = None;
+        self.host.invalidate_addr(now);
+    }
+
+    /// Host-driven handover: detach then immediately start attaching to
+    /// the target bTelco (break-before-make, §4.2).
+    pub fn handover(&mut self, now: SimTime, telco_name: &str, agw_sig: Ipv4Addr) {
+        self.detach(now);
+        self.start_attach(now, telco_name, agw_sig);
+    }
+
+    fn emit_report(&mut self, now: SimTime) {
+        let Some(meter) = &mut self.meter else { return };
+        let session_id = meter.session_id();
+        let sealed = meter.emit_report(now, &mut self.rng);
+        let msg = BrokerWire::Report {
+            session_id,
+            from_ue: true,
+            sealed,
+        };
+        self.pending.push(
+            now,
+            Packet::control(self.cfg.ue_sig, self.cfg.broker_ctrl_ip, msg.encode()),
+        );
+    }
+
+    fn on_accept_verified(&mut self, now: SimTime, ue_ip: Ipv4Addr, payload: &[u8]) {
+        let Some(pending) = self.attach.take() else {
+            return;
+        };
+        let Some(resp) = SignedSealed::decode(payload) else {
+            self.failures += 1;
+            return;
+        };
+        match sap::ue_verify_response(
+            &self.cfg.keys,
+            &self.cfg.broker_sign_pk,
+            &pending.nonce,
+            pending.id_t,
+            &resp,
+        ) {
+            Ok(body) => {
+                self.attach_deadline = None;
+                self.attach_latency_ms
+                    .record(now.since(pending.started).as_millis_f64());
+                self.attaches += 1;
+                self.serving = Some(Serving {
+                    agw_sig: pending.agw_sig,
+                    id_t: pending.id_t,
+                    session_id: body.session_id,
+                });
+                // The meter signs with the broker-issued UE key and seals
+                // to the broker (paper §4.3).
+                self.meter = Some(BasebandMeter::new(
+                    body.session_id,
+                    self.cfg.keys.sign.clone(),
+                    self.cfg.broker_encrypt_pk,
+                    now,
+                ));
+                self.next_report_at = Some(now + self.cfg.report_interval);
+                // Fig. 4: the interface regains an address; MPTCP reacts.
+                self.host.assign_addr(now, ue_ip);
+            }
+            Err(_) => {
+                self.failures += 1;
+            }
+        }
+    }
+}
+
+impl Endpoint for UeDevice {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn handle_packet(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<Packet>) {
+        match &pkt.kind {
+            PacketKind::Control(bytes) => {
+                if pkt.dst != self.cfg.ue_sig {
+                    return;
+                }
+                match NasMessage::decode(bytes) {
+                    Some(NasMessage::SapAttachAccept { ue_ip, payload, .. }) => {
+                        // Verification costs crypto time; defer.
+                        self.proc_time = self.proc_time + self.cfg.verify_delay;
+                        self.deferred.push(
+                            now + self.cfg.verify_delay,
+                            Deferred::Accept { ue_ip, payload },
+                        );
+                    }
+                    Some(NasMessage::SapAttachReject { .. }) => {
+                        self.failures += 1;
+                        self.attach = None;
+                        self.attach_deadline = None;
+                    }
+                    _ => {}
+                }
+            }
+            _ => {
+                // Data plane: baseband accounting, then the host stack.
+                if let Some(meter) = &mut self.meter {
+                    meter.account_dl(u64::from(pkt.wire_size()));
+                }
+                self.host.handle_packet(now, pkt);
+                let mut staged = Vec::new();
+                self.host.drain_out(&mut staged);
+                if let Some(meter) = &mut self.meter {
+                    for p in &staged {
+                        meter.account_ul(u64::from(p.wire_size()));
+                    }
+                }
+                out.append(&mut staged);
+            }
+        }
+    }
+
+    fn poll_at(&self) -> Option<SimTime> {
+        [
+            self.pending.peek_time(),
+            self.deferred.peek_time(),
+            self.next_report_at,
+            self.attach_deadline,
+            self.host.poll_at(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    fn poll(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        // Attach retry: the request or its answer was lost.
+        if let Some(deadline) = self.attach_deadline {
+            if now >= deadline {
+                match self.attach.as_mut() {
+                    Some(p) if p.retries_left > 0 => {
+                        p.retries_left -= 1;
+                        self.attach_retries += 1;
+                        self.issue_attach_request(now);
+                    }
+                    _ => {
+                        self.attach = None;
+                        self.attach_deadline = None;
+                        self.failures += 1;
+                    }
+                }
+            }
+        }
+        while let Some((_, d)) = self.deferred.pop_due(now) {
+            match d {
+                Deferred::Accept { ue_ip, payload } => {
+                    self.on_accept_verified(now, ue_ip, &payload);
+                }
+            }
+        }
+        if let Some(at) = self.next_report_at {
+            if now >= at {
+                self.emit_report(now);
+                self.next_report_at = Some(now + self.cfg.report_interval);
+            }
+        }
+        self.host.poll(now);
+        let mut staged = Vec::new();
+        self.host.drain_out(&mut staged);
+        if let Some(meter) = &mut self.meter {
+            for p in &staged {
+                meter.account_ul(u64::from(p.wire_size()));
+            }
+        }
+        out.append(&mut staged);
+        while let Some((_, pkt)) = self.pending.pop_due(now) {
+            out.push(pkt);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! A minimal certificate scheme standing in for the web PKI.
+//!
+//! The paper assumes broker and bTelco public keys "are distributed and
+//! maintained using standard PKI techniques, akin to existing Internet
+//! services" (§4.1). This module provides the smallest faithful model: a
+//! [`CertificateAuthority`] signs `(subject, role, key, validity)` tuples,
+//! and relying parties verify the chain of exactly one link. UE keys are
+//! deliberately *not* certified — per the paper, a UE's key pair is issued
+//! by its broker, which simply keeps the key in its subscriber database.
+
+use crate::ed25519::{Signature, SigningKey, VerifyingKey};
+
+/// The role a certificate attests to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// A broker (MVNO-like user-facing service).
+    Broker,
+    /// A bTelco (access infrastructure operator).
+    BTelco,
+}
+
+impl Role {
+    fn to_byte(self) -> u8 {
+        match self {
+            Role::Broker => 1,
+            Role::BTelco => 2,
+        }
+    }
+}
+
+/// A signed binding of a subject identifier to a public key and role.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// Subject identifier (e.g. a domain name or stable operator id).
+    pub subject: String,
+    /// The attested role.
+    pub role: Role,
+    /// The subject's Ed25519 public key.
+    pub key: VerifyingKey,
+    /// Expiry in coarse epoch units (the simulator's day counter).
+    pub not_after: u64,
+    /// CA signature over the canonical byte encoding.
+    pub signature: Signature,
+}
+
+/// Errors from certificate verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CertificateError {
+    /// The CA signature does not verify.
+    BadSignature,
+    /// The certificate expired before `now`.
+    Expired,
+    /// The certificate attests a different role than required.
+    WrongRole,
+}
+
+impl core::fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CertificateError::BadSignature => write!(f, "certificate signature invalid"),
+            CertificateError::Expired => write!(f, "certificate expired"),
+            CertificateError::WrongRole => write!(f, "certificate attests the wrong role"),
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+fn tbs_bytes(subject: &str, role: Role, key: &VerifyingKey, not_after: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(subject.len() + 48);
+    out.extend_from_slice(b"cellbricks-cert-v1:");
+    out.extend_from_slice(&(subject.len() as u32).to_be_bytes());
+    out.extend_from_slice(subject.as_bytes());
+    out.push(role.to_byte());
+    out.extend_from_slice(&key.0);
+    out.extend_from_slice(&not_after.to_be_bytes());
+    out
+}
+
+/// A certificate authority: an Ed25519 key pair that issues certificates.
+pub struct CertificateAuthority {
+    key: SigningKey,
+}
+
+impl CertificateAuthority {
+    /// Create a CA from a signing key.
+    #[must_use]
+    pub fn new(key: SigningKey) -> Self {
+        Self { key }
+    }
+
+    /// Create a deterministic CA from a seed (tests, simulations).
+    #[must_use]
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        Self::new(SigningKey::from_seed(seed))
+    }
+
+    /// The CA's public key, to be distributed to all relying parties.
+    #[must_use]
+    pub fn public_key(&self) -> VerifyingKey {
+        self.key.verifying_key()
+    }
+
+    /// Issue a certificate.
+    #[must_use]
+    pub fn issue(
+        &self,
+        subject: &str,
+        role: Role,
+        key: VerifyingKey,
+        not_after: u64,
+    ) -> Certificate {
+        let tbs = tbs_bytes(subject, role, &key, not_after);
+        Certificate {
+            subject: subject.to_string(),
+            role,
+            key,
+            not_after,
+            signature: self.key.sign(&tbs),
+        }
+    }
+}
+
+impl Certificate {
+    /// Verify this certificate against `ca`, requiring `role`, at time `now`.
+    ///
+    /// # Errors
+    /// [`CertificateError`] describing the first check that failed.
+    pub fn verify(&self, ca: &VerifyingKey, role: Role, now: u64) -> Result<(), CertificateError> {
+        let tbs = tbs_bytes(&self.subject, self.role, &self.key, self.not_after);
+        if !ca.verify(&tbs, &self.signature) {
+            return Err(CertificateError::BadSignature);
+        }
+        if self.not_after < now {
+            return Err(CertificateError::Expired);
+        }
+        if self.role != role {
+            return Err(CertificateError::WrongRole);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ca() -> CertificateAuthority {
+        CertificateAuthority::from_seed([0xCA; 32])
+    }
+
+    fn subject_key() -> SigningKey {
+        SigningKey::from_seed([0x01; 32])
+    }
+
+    #[test]
+    fn issue_and_verify() {
+        let ca = ca();
+        let cert = ca.issue(
+            "broker.example",
+            Role::Broker,
+            subject_key().verifying_key(),
+            100,
+        );
+        assert!(cert.verify(&ca.public_key(), Role::Broker, 50).is_ok());
+    }
+
+    #[test]
+    fn expired_rejected() {
+        let ca = ca();
+        let cert = ca.issue(
+            "broker.example",
+            Role::Broker,
+            subject_key().verifying_key(),
+            100,
+        );
+        assert_eq!(
+            cert.verify(&ca.public_key(), Role::Broker, 101),
+            Err(CertificateError::Expired)
+        );
+    }
+
+    #[test]
+    fn wrong_role_rejected() {
+        let ca = ca();
+        let cert = ca.issue(
+            "tower.example",
+            Role::BTelco,
+            subject_key().verifying_key(),
+            100,
+        );
+        assert_eq!(
+            cert.verify(&ca.public_key(), Role::Broker, 50),
+            Err(CertificateError::WrongRole)
+        );
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let ca = ca();
+        let mut cert = ca.issue(
+            "b.example",
+            Role::Broker,
+            subject_key().verifying_key(),
+            100,
+        );
+        cert.subject = "evil.example".to_string();
+        assert_eq!(
+            cert.verify(&ca.public_key(), Role::Broker, 50),
+            Err(CertificateError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn different_ca_rejected() {
+        let ca1 = ca();
+        let ca2 = CertificateAuthority::from_seed([0xCB; 32]);
+        let cert = ca1.issue(
+            "b.example",
+            Role::Broker,
+            subject_key().verifying_key(),
+            100,
+        );
+        assert_eq!(
+            cert.verify(&ca2.public_key(), Role::Broker, 50),
+            Err(CertificateError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn swapped_key_rejected() {
+        let ca = ca();
+        let mut cert = ca.issue(
+            "b.example",
+            Role::Broker,
+            subject_key().verifying_key(),
+            100,
+        );
+        cert.key = SigningKey::from_seed([0x02; 32]).verifying_key();
+        assert_eq!(
+            cert.verify(&ca.public_key(), Role::Broker, 50),
+            Err(CertificateError::BadSignature)
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! The ChaCha20 stream cipher (RFC 8439 §2.3–2.4).
+//!
+//! Used as the symmetric layer of the [`crate::sealed`] ECIES construction
+//! and for NAS-message ciphering in the simulated security context.
+
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Compute one 64-byte ChaCha20 keystream block.
+#[must_use]
+pub fn block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XOR `data` in place with the ChaCha20 keystream starting at block
+/// `initial_counter`. Encryption and decryption are the same operation.
+pub fn xor_in_place(key: &[u8; 32], nonce: &[u8; 12], initial_counter: u32, data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(64).enumerate() {
+        let counter = initial_counter
+            .checked_add(i as u32)
+            .expect("ChaCha20 counter overflow");
+        let ks = block(key, counter, nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Encrypt (or decrypt) `data`, returning a new buffer.
+#[must_use]
+pub fn apply(key: &[u8; 32], nonce: &[u8; 12], initial_counter: u32, data: &[u8]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    xor_in_place(key, nonce, initial_counter, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let out = block(&key, 1, &nonce);
+        assert_eq!(
+            hex(&out),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: \
+If I could offer you only one tip for the future, sunscreen would be it.";
+        let ct = apply(&key, &nonce, 1, plaintext);
+        assert_eq!(
+            hex(&ct[..64]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+        );
+        assert_eq!(
+            hex(&ct[64..]),
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d"
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        let msg = b"attach-request payload".to_vec();
+        let ct = apply(&key, &nonce, 0, &msg);
+        assert_ne!(ct, msg);
+        let pt = apply(&key, &nonce, 0, &ct);
+        assert_eq!(pt, msg);
+    }
+
+    #[test]
+    fn counter_continuity() {
+        // Encrypting 100 bytes at once equals encrypting in two chunks with
+        // the counter advanced by one block.
+        let key = [9u8; 32];
+        let nonce = [1u8; 12];
+        let msg = vec![0xabu8; 100];
+        let whole = apply(&key, &nonce, 5, &msg);
+        let mut parts = apply(&key, &nonce, 5, &msg[..64]);
+        parts.extend(apply(&key, &nonce, 6, &msg[64..]));
+        assert_eq!(whole, parts);
+    }
+}

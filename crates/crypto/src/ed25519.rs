@@ -1,0 +1,561 @@
+//! Ed25519 signatures (RFC 8032).
+//!
+//! SAP signs every protocol message: the UE signs its encrypted
+//! authentication vector, the bTelco signs the augmented request it forwards
+//! to the broker, and the broker signs both authorization sub-responses
+//! (paper Fig. 2–3). Traffic reports are likewise signed on the baseband.
+
+use crate::field::Fe;
+use crate::sha2::Sha512;
+
+/// Group order L = 2²⁵² + 27742317777372353535851937790883648493,
+/// little-endian u64 limbs.
+const L: [u64; 4] = [
+    0x5812631a5cf5d3ed,
+    0x14def9dea2f79cd6,
+    0,
+    0x1000000000000000,
+];
+
+/// A scalar modulo the group order L, little-endian u64 limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Scalar([u64; 4]);
+
+impl Scalar {
+    #[cfg(test)]
+    const ZERO: Scalar = Scalar([0; 4]);
+
+    fn from_bytes_wide(bytes: &[u8; 64]) -> Scalar {
+        let mut limbs = [0u64; 8];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            limbs[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Self::reduce_wide(&limbs)
+    }
+
+    fn from_bytes(bytes: &[u8; 32]) -> Scalar {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(bytes);
+        Self::from_bytes_wide(&wide)
+    }
+
+    /// True iff `bytes` encodes an integer already below L (canonical S check).
+    fn is_canonical(bytes: &[u8; 32]) -> bool {
+        let mut limbs = [0u64; 4];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            limbs[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // Compare limbs to L big-endian-wise.
+        for i in (0..4).rev() {
+            if limbs[i] < L[i] {
+                return true;
+            }
+            if limbs[i] > L[i] {
+                return false;
+            }
+        }
+        false // equal to L is non-canonical
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (chunk, limb) in out.chunks_exact_mut(8).zip(self.0.iter()) {
+            chunk.copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    fn geq_l(limbs: &[u64; 4]) -> bool {
+        for i in (0..4).rev() {
+            if limbs[i] > L[i] {
+                return true;
+            }
+            if limbs[i] < L[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn sub_l(limbs: &mut [u64; 4]) {
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d1, b1) = limbs[i].overflowing_sub(L[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            limbs[i] = d2;
+            borrow = u64::from(b1 | b2);
+        }
+        debug_assert_eq!(borrow, 0);
+    }
+
+    /// Reduce a 512-bit little-endian integer modulo L by binary
+    /// shift-and-subtract. Slow (512 iterations) but obviously correct;
+    /// scalar ops are not on any hot path in this reproduction.
+    fn reduce_wide(limbs: &[u64; 8]) -> Scalar {
+        let mut r = [0u64; 4];
+        for bit in (0..512).rev() {
+            // r = 2r (+ carry-out impossible: r < L < 2^253 so 2r < 2^254).
+            let mut carry = 0u64;
+            for limb in r.iter_mut() {
+                let new_carry = *limb >> 63;
+                *limb = (*limb << 1) | carry;
+                carry = new_carry;
+            }
+            debug_assert_eq!(carry, 0);
+            // r += bit
+            let b = (limbs[bit / 64] >> (bit % 64)) & 1;
+            r[0] |= b; // r is even after doubling, so OR adds the bit.
+            if Self::geq_l(&r) {
+                Self::sub_l(&mut r);
+            }
+        }
+        Scalar(r)
+    }
+
+    fn add(self, rhs: Scalar) -> Scalar {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            let (s1, c1) = a.overflowing_add(*b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *o = s2;
+            carry = u64::from(c1 | c2);
+        }
+        debug_assert_eq!(carry, 0, "scalar sum exceeds 2^256");
+        if Self::geq_l(&out) {
+            Self::sub_l(&mut out);
+        }
+        Scalar(out)
+    }
+
+    fn mul(self, rhs: Scalar) -> Scalar {
+        let mut wide = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let v =
+                    u128::from(self.0[i]) * u128::from(rhs.0[j]) + u128::from(wide[i + j]) + carry;
+                wide[i + j] = v as u64;
+                carry = v >> 64;
+            }
+            wide[i + 4] = carry as u64;
+        }
+        Self::reduce_wide(&wide)
+    }
+}
+
+/// An Ed25519 curve point in extended twisted-Edwards coordinates
+/// (X : Y : Z : T) with x = X/Z, y = Y/Z, xy = T/Z.
+#[derive(Clone, Copy, Debug)]
+struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+impl Point {
+    fn identity() -> Point {
+        Point {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
+    }
+
+    fn base() -> Point {
+        static CACHE: std::sync::OnceLock<Point> = std::sync::OnceLock::new();
+        *CACHE.get_or_init(|| {
+            // The standard base point: y = 4/5, x even. Its compressed
+            // encoding is 0x58666...6666 (y = 4/5, sign bit 0).
+            let mut enc = [0x66u8; 32];
+            enc[31] = 0x66;
+            enc[0] = 0x58;
+            Self::decompress(&enc).expect("base point decompression")
+        })
+    }
+
+    /// add-2008-hwcd-3 for a = −1 twisted Edwards curves.
+    fn add(&self, other: &Point) -> Point {
+        let d2 = Fe::edwards_2d();
+        let a = self.y.sub(self.x).mul(other.y.sub(other.x));
+        let b = self.y.add(self.x).mul(other.y.add(other.x));
+        let c = self.t.mul(d2).mul(other.t);
+        let d = self.z.add(self.z).mul(other.z);
+        let e = b.sub(a);
+        let f = d.sub(c);
+        let g = d.add(c);
+        let h = b.add(a);
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            t: e.mul(h),
+            z: f.mul(g),
+        }
+    }
+
+    /// dbl-2008-hwcd for a = −1 twisted Edwards curves.
+    fn double(&self) -> Point {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().mul_small(2);
+        let d = a.neg();
+        let e = self.x.add(self.y).square().sub(a).sub(b);
+        let g = d.add(b);
+        let f = g.sub(c);
+        let h = d.sub(b);
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            t: e.mul(h),
+            z: f.mul(g),
+        }
+    }
+
+    /// Variable-time double-and-add scalar multiplication over a 256-bit
+    /// scalar given as little-endian bytes.
+    fn scalar_mul(&self, scalar: &[u8; 32]) -> Point {
+        let mut acc = Point::identity();
+        for byte in scalar.iter().rev() {
+            for bit in (0..8).rev() {
+                acc = acc.double();
+                if (byte >> bit) & 1 == 1 {
+                    acc = acc.add(self);
+                }
+            }
+        }
+        acc
+    }
+
+    fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(zinv);
+        let y = self.y.mul(zinv);
+        let mut out = y.to_bytes();
+        if x.is_odd() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompress per RFC 8032 §5.1.3.
+    fn decompress(bytes: &[u8; 32]) -> Option<Point> {
+        let sign = (bytes[31] >> 7) & 1;
+        let y = Fe::from_bytes(bytes);
+        // x² = (y² − 1) / (d·y² + 1)
+        let y2 = y.square();
+        let u = y2.sub(Fe::ONE);
+        let v = Fe::edwards_d().mul(y2).add(Fe::ONE);
+        // Candidate root: x = u·v³ · (u·v⁷)^((p−5)/8)
+        let v3 = v.square().mul(v);
+        let v7 = v3.square().mul(v);
+        let mut x = u.mul(v3).mul(u.mul(v7).pow_p58());
+        let vx2 = v.mul(x.square());
+        if vx2.equals(u) {
+            // x is the root.
+        } else if vx2.equals(u.neg()) {
+            x = x.mul(Fe::sqrt_m1());
+        } else {
+            return None;
+        }
+        if x.is_zero() && sign == 1 {
+            return None; // −0 is invalid.
+        }
+        if u64::from(x.is_odd()) != u64::from(sign) {
+            x = x.neg();
+        }
+        Some(Point {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(y),
+        })
+    }
+
+    fn equals(&self, other: &Point) -> bool {
+        // (X1/Z1 == X2/Z2) && (Y1/Z1 == Y2/Z2), cross-multiplied.
+        self.x.mul(other.z).equals(other.x.mul(self.z))
+            && self.y.mul(other.z).equals(other.y.mul(self.z))
+    }
+}
+
+/// An Ed25519 signature (R ‖ S, 64 bytes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature(pub [u8; 64]);
+
+impl Signature {
+    /// Parse from a byte slice.
+    ///
+    /// # Errors
+    /// Returns `None` if the slice is not exactly 64 bytes.
+    #[must_use]
+    pub fn from_slice(bytes: &[u8]) -> Option<Signature> {
+        let arr: [u8; 64] = bytes.try_into().ok()?;
+        Some(Signature(arr))
+    }
+}
+
+/// An Ed25519 signing key (the 32-byte seed).
+#[derive(Clone)]
+pub struct SigningKey {
+    seed: [u8; 32],
+    /// Clamped scalar half of SHA-512(seed).
+    s: [u8; 32],
+    /// Prefix half of SHA-512(seed), used for deterministic nonces.
+    prefix: [u8; 32],
+    public: VerifyingKey,
+}
+
+/// An Ed25519 public (verifying) key: the compressed point A.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub struct VerifyingKey(pub [u8; 32]);
+
+impl SigningKey {
+    /// Deterministically derive a signing key from a 32-byte seed.
+    #[must_use]
+    pub fn from_seed(seed: [u8; 32]) -> SigningKey {
+        let h = crate::sha2::sha512(&seed);
+        let mut s = [0u8; 32];
+        s.copy_from_slice(&h[..32]);
+        s[0] &= 248;
+        s[31] &= 127;
+        s[31] |= 64;
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&h[32..]);
+        let a = Point::base().scalar_mul(&s);
+        let public = VerifyingKey(a.compress());
+        SigningKey {
+            seed,
+            s,
+            prefix,
+            public,
+        }
+    }
+
+    /// Generate a signing key from an RNG.
+    pub fn generate<R: rand::Rng + ?Sized>(rng: &mut R) -> SigningKey {
+        let mut seed = [0u8; 32];
+        rng.fill(&mut seed);
+        Self::from_seed(seed)
+    }
+
+    /// The seed this key was derived from.
+    #[must_use]
+    pub fn seed(&self) -> [u8; 32] {
+        self.seed
+    }
+
+    /// The corresponding public key.
+    #[must_use]
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.public
+    }
+
+    /// Sign `msg` (RFC 8032 §5.1.6, deterministic).
+    #[must_use]
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let mut h = Sha512::new();
+        h.update(&self.prefix);
+        h.update(msg);
+        let r = Scalar::from_bytes_wide(&h.finalize());
+        let r_point = Point::base().scalar_mul(&r.to_bytes());
+        let r_enc = r_point.compress();
+
+        let mut h = Sha512::new();
+        h.update(&r_enc);
+        h.update(&self.public.0);
+        h.update(msg);
+        let k = Scalar::from_bytes_wide(&h.finalize());
+        let s_scalar = Scalar::from_bytes(&self.s);
+        let sig_s = r.add(k.mul(s_scalar));
+
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&r_enc);
+        out[32..].copy_from_slice(&sig_s.to_bytes());
+        Signature(out)
+    }
+}
+
+impl VerifyingKey {
+    /// Verify `sig` over `msg` (RFC 8032 §5.1.7, cofactorless).
+    #[must_use]
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        let r_enc: [u8; 32] = sig.0[..32].try_into().unwrap();
+        let s_enc: [u8; 32] = sig.0[32..].try_into().unwrap();
+        if !Scalar::is_canonical(&s_enc) {
+            return false;
+        }
+        let Some(a) = Point::decompress(&self.0) else {
+            return false;
+        };
+        let Some(r) = Point::decompress(&r_enc) else {
+            return false;
+        };
+        let mut h = Sha512::new();
+        h.update(&r_enc);
+        h.update(&self.0);
+        h.update(msg);
+        let k = Scalar::from_bytes_wide(&h.finalize());
+
+        let lhs = Point::base().scalar_mul(&s_enc);
+        let rhs = r.add(&a.scalar_mul(&k.to_bytes()));
+        lhs.equals(&rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex32(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).unwrap();
+        }
+        out
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 8032 §7.1 TEST 1 (empty message).
+    #[test]
+    fn rfc8032_test1() {
+        let sk = SigningKey::from_seed(from_hex32(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        ));
+        assert_eq!(
+            hex(&sk.verifying_key().0),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+        );
+        let sig = sk.sign(b"");
+        assert_eq!(
+            hex(&sig.0),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+             5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+        );
+        assert!(sk.verifying_key().verify(b"", &sig));
+    }
+
+    // RFC 8032 §7.1 TEST 2 (one-byte message).
+    #[test]
+    fn rfc8032_test2() {
+        let sk = SigningKey::from_seed(from_hex32(
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        ));
+        assert_eq!(
+            hex(&sk.verifying_key().0),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+        );
+        let msg = [0x72u8];
+        let sig = sk.sign(&msg);
+        assert_eq!(
+            hex(&sig.0),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+             085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+        );
+        assert!(sk.verifying_key().verify(&msg, &sig));
+    }
+
+    // RFC 8032 §7.1 TEST 3 (two-byte message).
+    #[test]
+    fn rfc8032_test3() {
+        let sk = SigningKey::from_seed(from_hex32(
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        ));
+        assert_eq!(
+            hex(&sk.verifying_key().0),
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025"
+        );
+        let msg = [0xafu8, 0x82];
+        let sig = sk.sign(&msg);
+        assert_eq!(
+            hex(&sig.0),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+             18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+        );
+        assert!(sk.verifying_key().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let sk = SigningKey::from_seed([7u8; 32]);
+        let sig = sk.sign(b"attach-request");
+        assert!(sk.verifying_key().verify(b"attach-request", &sig));
+        assert!(!sk.verifying_key().verify(b"attach-requesT", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let sk = SigningKey::from_seed([8u8; 32]);
+        let mut sig = sk.sign(b"msg");
+        sig.0[3] ^= 1;
+        assert!(!sk.verifying_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sk1 = SigningKey::from_seed([1u8; 32]);
+        let sk2 = SigningKey::from_seed([2u8; 32]);
+        let sig = sk1.sign(b"msg");
+        assert!(!sk2.verifying_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn non_canonical_s_rejected() {
+        let sk = SigningKey::from_seed([9u8; 32]);
+        let mut sig = sk.sign(b"msg");
+        // Set S >= L by forcing the top byte high.
+        sig.0[63] = 0xff;
+        assert!(!sk.verifying_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn signature_from_slice_checks_length() {
+        assert!(Signature::from_slice(&[0u8; 64]).is_some());
+        assert!(Signature::from_slice(&[0u8; 63]).is_none());
+        assert!(Signature::from_slice(&[0u8; 65]).is_none());
+    }
+
+    #[test]
+    fn scalar_reduce_identity_below_l() {
+        // Values below L are unchanged.
+        let mut b = [0u8; 32];
+        b[0] = 42;
+        assert_eq!(Scalar::from_bytes(&b).to_bytes(), b);
+    }
+
+    #[test]
+    fn scalar_l_reduces_to_zero() {
+        let mut l_bytes = [0u8; 32];
+        for (i, limb) in L.iter().enumerate() {
+            l_bytes[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        assert_eq!(Scalar::from_bytes(&l_bytes), Scalar::ZERO);
+        assert!(!Scalar::is_canonical(&l_bytes));
+    }
+
+    #[test]
+    fn point_identity_is_additive_identity() {
+        let b = Point::base();
+        assert!(b.add(&Point::identity()).equals(&b));
+    }
+
+    #[test]
+    fn point_double_matches_add() {
+        let b = Point::base();
+        assert!(b.double().equals(&b.add(&b)));
+    }
+
+    #[test]
+    fn base_point_has_order_l() {
+        let mut l_bytes = [0u8; 32];
+        for (i, limb) in L.iter().enumerate() {
+            l_bytes[i * 8..i * 8 + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        let p = Point::base().scalar_mul(&l_bytes);
+        assert!(p.equals(&Point::identity()));
+    }
+}

@@ -1,0 +1,425 @@
+//! Arithmetic in GF(2²⁵⁵ − 19), the base field of Curve25519/Ed25519.
+//!
+//! Elements are stored as five 51-bit limbs (radix 2⁵¹), the classic
+//! ref10/donna representation: products of weakly-reduced limbs fit
+//! comfortably in `u128`, and the modulus folds the overflow of limb 4
+//! back into limb 0 multiplied by 19.
+
+/// A field element of GF(2²⁵⁵ − 19) in radix-2⁵¹ representation.
+///
+/// Invariant maintained by all public constructors and operations:
+/// every limb is below 2⁵² (weakly reduced), so sums and products cannot
+/// overflow intermediate `u128` accumulators.
+#[derive(Clone, Copy, Debug)]
+pub struct Fe(pub(crate) [u64; 5]);
+
+const MASK51: u64 = (1u64 << 51) - 1;
+
+#[allow(clippy::should_implement_trait)] // `add`/`sub`/`mul`/`neg` mirror
+                                         // the ref10 field API; operator traits would hide the reduction contract.
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0; 5]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    /// Construct from a small integer.
+    #[must_use]
+    pub fn from_u64(v: u64) -> Fe {
+        let mut fe = Fe([0; 5]);
+        fe.0[0] = v & MASK51;
+        fe.0[1] = v >> 51;
+        fe
+    }
+
+    /// Parse 32 little-endian bytes, masking the top bit (as both RFC 7748
+    /// and RFC 8032 require).
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |i: usize| -> u64 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[i..i + 8]);
+            u64::from_le_bytes(buf)
+        };
+        Fe([
+            load(0) & MASK51,
+            (load(6) >> 3) & MASK51,
+            (load(12) >> 6) & MASK51,
+            (load(19) >> 1) & MASK51,
+            (load(24) >> 12) & MASK51,
+        ])
+    }
+
+    /// Serialize to 32 little-endian bytes with full (canonical) reduction.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut t = self.reduce_full();
+        let mut out = [0u8; 32];
+        // Pack 5 × 51 bits into 255 bits.
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for limb in t.0.iter_mut() {
+            acc |= u128::from(*limb) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 {
+                out[idx] = (acc & 0xff) as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        if idx < 32 {
+            out[idx] = (acc & 0xff) as u8;
+        }
+        out
+    }
+
+    /// Carry-propagate so every limb stays below 2⁵² (weak reduction);
+    /// folds the limb-4 carry back into limb 0 multiplied by 19.
+    #[must_use]
+    fn weak_reduce(mut self) -> Fe {
+        for _ in 0..2 {
+            let mut carry = 0u64;
+            for limb in self.0.iter_mut() {
+                let v = *limb + carry;
+                *limb = v & MASK51;
+                carry = v >> 51;
+            }
+            self.0[0] += carry * 19;
+        }
+        self
+    }
+
+    /// Fully reduce into the canonical range [0, p).
+    #[must_use]
+    fn reduce_full(self) -> Fe {
+        let mut t = self;
+        // Carry until no fold is pending: each fold strictly decreases any
+        // value ≥ 2²⁵⁵, so this terminates with all limbs < 2⁵¹.
+        loop {
+            let mut carry = 0u64;
+            for limb in t.0.iter_mut() {
+                let v = *limb + carry;
+                *limb = v & MASK51;
+                carry = v >> 51;
+            }
+            if carry == 0 {
+                break;
+            }
+            t.0[0] += carry * 19;
+        }
+        // Now 0 ≤ t < 2²⁵⁵ = p + 19 < 2p: one conditional subtract of p.
+        let p = [MASK51 - 18, MASK51, MASK51, MASK51, MASK51];
+        let mut borrow: i128 = 0;
+        let mut sub = [0u64; 5];
+        for i in 0..5 {
+            let d = i128::from(t.0[i]) - i128::from(p[i]) + borrow;
+            if d < 0 {
+                sub[i] = (d + (1i128 << 51)) as u64;
+                borrow = -1;
+            } else {
+                sub[i] = d as u64;
+                borrow = 0;
+            }
+        }
+        if borrow == 0 {
+            t.0 = sub;
+        }
+        t
+    }
+
+    /// Field addition.
+    #[must_use]
+    pub fn add(self, rhs: Fe) -> Fe {
+        let mut out = [0u64; 5];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *o = a + b;
+        }
+        Fe(out).weak_reduce()
+    }
+
+    /// Field subtraction.
+    #[must_use]
+    pub fn sub(self, rhs: Fe) -> Fe {
+        // Add 2p before subtracting so limbs never go negative.
+        const TWO_P: [u64; 5] = [
+            2 * (MASK51 - 18),
+            2 * MASK51,
+            2 * MASK51,
+            2 * MASK51,
+            2 * MASK51,
+        ];
+        let mut out = [0u64; 5];
+        for i in 0..5 {
+            out[i] = self.0[i] + TWO_P[i] - rhs.0[i];
+        }
+        Fe(out).weak_reduce()
+    }
+
+    /// Field negation.
+    #[must_use]
+    pub fn neg(self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    /// Field multiplication.
+    #[must_use]
+    pub fn mul(self, rhs: Fe) -> Fe {
+        let a = &self.0;
+        let b = &rhs.0;
+        let m = |x: u64, y: u64| u128::from(x) * u128::from(y);
+
+        // Schoolbook with the 19-fold for limbs >= 5.
+        let mut t = [0u128; 5];
+        t[0] = m(a[0], b[0]) + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        t[1] = m(a[0], b[1]) + m(a[1], b[0]) + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        t[2] = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        t[3] = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + 19 * m(a[4], b[4]);
+        t[4] = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        // Carry chain over u128 accumulators.
+        let mut out = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..5 {
+            let v = t[i] + carry;
+            out[i] = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        let fold = carry * 19;
+        let v = u128::from(out[0]) + fold;
+        out[0] = (v as u64) & MASK51;
+        out[1] += (v >> 51) as u64;
+        Fe(out).weak_reduce()
+    }
+
+    /// Field squaring.
+    #[must_use]
+    pub fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Multiply by a small constant.
+    #[must_use]
+    pub fn mul_small(self, k: u32) -> Fe {
+        self.mul(Fe::from_u64(u64::from(k)))
+    }
+
+    /// Raise to an arbitrary 256-bit exponent given as 32 little-endian
+    /// bytes (variable-time square-and-multiply; fine for this codebase).
+    #[must_use]
+    pub fn pow_bytes_le(self, exp: &[u8; 32]) -> Fe {
+        let mut result = Fe::ONE;
+        for byte in exp.iter().rev() {
+            for bit in (0..8).rev() {
+                result = result.square();
+                if (byte >> bit) & 1 == 1 {
+                    result = result.mul(self);
+                }
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat: x^(p−2).
+    #[must_use]
+    pub fn invert(self) -> Fe {
+        // p - 2 = 2^255 - 21 -> little-endian bytes: 0xeb, then 0xff × 30, 0x7f.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb;
+        exp[31] = 0x7f;
+        self.pow_bytes_le(&exp)
+    }
+
+    /// x^((p−5)/8) = x^(2²⁵² − 3), used in Ed25519 point decompression.
+    #[must_use]
+    pub fn pow_p58(self) -> Fe {
+        // 2^252 - 3 -> little-endian bytes: 0xfd, 0xff × 30, 0x0f.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfd;
+        exp[31] = 0x0f;
+        self.pow_bytes_le(&exp)
+    }
+
+    /// True iff this element reduces to zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// True iff the canonical encoding is odd (bit 0 of byte 0).
+    #[must_use]
+    pub fn is_odd(self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    /// Canonical equality.
+    #[must_use]
+    pub fn equals(self, rhs: Fe) -> bool {
+        self.to_bytes() == rhs.to_bytes()
+    }
+
+    /// √−1 mod p, computed once as 2^((p−1)/4) and cached (it costs a
+    /// 255-bit exponentiation).
+    #[must_use]
+    pub fn sqrt_m1() -> Fe {
+        static CACHE: std::sync::OnceLock<Fe> = std::sync::OnceLock::new();
+        *CACHE.get_or_init(|| {
+            // (p - 1) / 4 = 2^253 - 5 -> LE bytes: 0xfb, 0xff × 30, 0x1f.
+            let mut exp = [0xffu8; 32];
+            exp[0] = 0xfb;
+            exp[31] = 0x1f;
+            Fe::from_u64(2).pow_bytes_le(&exp)
+        })
+    }
+
+    /// The Edwards curve constant d = −121665/121666 mod p, computed once
+    /// and cached (the division is a full field inversion).
+    #[must_use]
+    pub fn edwards_d() -> Fe {
+        static CACHE: std::sync::OnceLock<Fe> = std::sync::OnceLock::new();
+        *CACHE.get_or_init(|| {
+            Fe::from_u64(121665)
+                .neg()
+                .mul(Fe::from_u64(121666).invert())
+        })
+    }
+
+    /// 2·d, cached (used by every point addition).
+    #[must_use]
+    pub fn edwards_2d() -> Fe {
+        static CACHE: std::sync::OnceLock<Fe> = std::sync::OnceLock::new();
+        *CACHE.get_or_init(|| Fe::edwards_d().add(Fe::edwards_d()))
+    }
+}
+
+impl PartialEq for Fe {
+    fn eq(&self, other: &Self) -> bool {
+        self.equals(*other)
+    }
+}
+impl Eq for Fe {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fe_from_u64s(a: u64, b: u64) -> Fe {
+        Fe::from_u64(a)
+            .mul(Fe::from_u64(1 << 32))
+            .add(Fe::from_u64(b))
+    }
+
+    #[test]
+    fn one_times_one() {
+        assert_eq!(Fe::ONE.mul(Fe::ONE), Fe::ONE);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Fe::from_u64(123456789);
+        let b = Fe::from_u64(987654321);
+        assert_eq!(a.add(b).sub(b), a);
+    }
+
+    #[test]
+    fn invert_small() {
+        let a = Fe::from_u64(7);
+        assert_eq!(a.mul(a.invert()), Fe::ONE);
+    }
+
+    #[test]
+    fn p_reduces_to_zero() {
+        // p = 2^255 - 19 encoded little-endian.
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        let p = Fe::from_bytes(&p_bytes);
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn p_plus_one_is_one() {
+        let mut bytes = [0xffu8; 32];
+        bytes[0] = 0xee;
+        bytes[31] = 0x7f;
+        assert_eq!(Fe::from_bytes(&bytes), Fe::ONE);
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = Fe::sqrt_m1();
+        assert_eq!(i.square(), Fe::ONE.neg());
+    }
+
+    #[test]
+    fn edwards_d_satisfies_definition() {
+        let d = Fe::edwards_d();
+        // d * 121666 == -121665
+        assert_eq!(d.mul(Fe::from_u64(121666)), Fe::from_u64(121665).neg());
+    }
+
+    #[test]
+    fn bytes_roundtrip_canonical() {
+        let a = fe_from_u64s(0xdead_beef, 0x1234_5678);
+        let b = Fe::from_bytes(&a.to_bytes());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn neg_neg_is_identity() {
+        let a = Fe::from_u64(42);
+        assert_eq!(a.neg().neg(), a);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let x = Fe::from_u64(3);
+        let mut exp = [0u8; 32];
+        exp[0] = 13;
+        let by_pow = x.pow_bytes_le(&exp);
+        let mut by_mul = Fe::ONE;
+        for _ in 0..13 {
+            by_mul = by_mul.mul(x);
+        }
+        assert_eq!(by_pow, by_mul);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_commutes(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+            let x = Fe::from_bytes(&a);
+            let y = Fe::from_bytes(&b);
+            prop_assert_eq!(x.mul(y), y.mul(x));
+        }
+
+        #[test]
+        fn prop_distributive(a in any::<[u8; 32]>(), b in any::<[u8; 32]>(), c in any::<[u8; 32]>()) {
+            let x = Fe::from_bytes(&a);
+            let y = Fe::from_bytes(&b);
+            let z = Fe::from_bytes(&c);
+            prop_assert_eq!(x.mul(y.add(z)), x.mul(y).add(x.mul(z)));
+        }
+
+        #[test]
+        fn prop_invert(a in any::<[u8; 32]>()) {
+            let x = Fe::from_bytes(&a);
+            prop_assume!(!x.is_zero());
+            prop_assert_eq!(x.mul(x.invert()), Fe::ONE);
+        }
+
+        #[test]
+        fn prop_square_matches_mul(a in any::<[u8; 32]>()) {
+            let x = Fe::from_bytes(&a);
+            prop_assert_eq!(x.square(), x.mul(x));
+        }
+
+        #[test]
+        fn prop_roundtrip(a in any::<[u8; 32]>()) {
+            let x = Fe::from_bytes(&a);
+            let y = Fe::from_bytes(&x.to_bytes());
+            prop_assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! ECIES-style authenticated public-key encryption ("sealed boxes").
+//!
+//! SAP encrypts the UE's authentication vector to the broker's public key so
+//! the bTelco forwarding it never sees a cleartext UE identifier (the
+//! anti-IMSI-catcher property, paper §4.1), and the broker encrypts each
+//! authorization sub-response to its recipient. The construction is the
+//! standard one:
+//!
+//! 1. generate an ephemeral X25519 key pair,
+//! 2. `shared = X25519(ephemeral_sk, recipient_pk)`,
+//! 3. `key ‖ mac_key = HKDF(shared, ephemeral_pk ‖ recipient_pk)`,
+//! 4. ciphertext = ChaCha20(key, plaintext); tag = HMAC(mac_key, ct)
+//!    (encrypt-then-MAC).
+
+use crate::hkdf;
+use crate::hmac::hmac_sha256;
+use crate::x25519::{X25519PublicKey, X25519SecretKey};
+use crate::{chacha20, ct_eq};
+
+/// A sealed (encrypted + authenticated) message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SealedBox {
+    /// The sender's ephemeral X25519 public key.
+    pub ephemeral_pk: [u8; 32],
+    /// ChaCha20 ciphertext.
+    pub ciphertext: Vec<u8>,
+    /// HMAC-SHA-256 tag over the ciphertext.
+    pub tag: [u8; 32],
+}
+
+/// Errors from [`open`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SealedBoxError {
+    /// The HMAC tag did not verify: the box was tampered with or is
+    /// addressed to a different key.
+    TagMismatch,
+}
+
+impl core::fmt::Display for SealedBoxError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SealedBoxError::TagMismatch => write!(f, "sealed box authentication tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SealedBoxError {}
+
+fn derive_keys(
+    shared: &[u8; 32],
+    ephemeral_pk: &[u8; 32],
+    recipient_pk: &[u8; 32],
+) -> ([u8; 32], [u8; 32]) {
+    let mut info = Vec::with_capacity(64 + 16);
+    info.extend_from_slice(b"cellbricks-seal:");
+    info.extend_from_slice(ephemeral_pk);
+    info.extend_from_slice(recipient_pk);
+    let mut okm = [0u8; 64];
+    hkdf::derive(b"", shared, &info, &mut okm);
+    let mut enc_key = [0u8; 32];
+    let mut mac_key = [0u8; 32];
+    enc_key.copy_from_slice(&okm[..32]);
+    mac_key.copy_from_slice(&okm[32..]);
+    (enc_key, mac_key)
+}
+
+/// Seal `plaintext` to `recipient`.
+#[must_use]
+pub fn seal<R: rand::Rng + ?Sized>(
+    rng: &mut R,
+    recipient: &X25519PublicKey,
+    plaintext: &[u8],
+) -> SealedBox {
+    let ephemeral = X25519SecretKey::generate(rng);
+    let ephemeral_pk = ephemeral.public_key().0;
+    let shared = ephemeral.diffie_hellman(recipient);
+    let (enc_key, mac_key) = derive_keys(&shared, &ephemeral_pk, &recipient.0);
+    let nonce = [0u8; 12]; // Safe: enc_key is unique per message (fresh ephemeral).
+    let ciphertext = chacha20::apply(&enc_key, &nonce, 0, plaintext);
+    let tag = hmac_sha256(&mac_key, &ciphertext);
+    SealedBox {
+        ephemeral_pk,
+        ciphertext,
+        tag,
+    }
+}
+
+/// Open a sealed box with the recipient's secret key.
+///
+/// # Errors
+/// Returns [`SealedBoxError::TagMismatch`] if authentication fails.
+pub fn open(recipient_sk: &X25519SecretKey, boxed: &SealedBox) -> Result<Vec<u8>, SealedBoxError> {
+    let recipient_pk = recipient_sk.public_key().0;
+    let shared = recipient_sk.diffie_hellman(&X25519PublicKey(boxed.ephemeral_pk));
+    let (enc_key, mac_key) = derive_keys(&shared, &boxed.ephemeral_pk, &recipient_pk);
+    let expected_tag = hmac_sha256(&mac_key, &boxed.ciphertext);
+    if !ct_eq(&expected_tag, &boxed.tag) {
+        return Err(SealedBoxError::TagMismatch);
+    }
+    let nonce = [0u8; 12];
+    Ok(chacha20::apply(&enc_key, &nonce, 0, &boxed.ciphertext))
+}
+
+impl SealedBox {
+    /// Serialized length: 32 (ephemeral pk) + 32 (tag) + ciphertext.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        64 + self.ciphertext.len()
+    }
+
+    /// Serialize as `ephemeral_pk ‖ tag ‖ ciphertext`.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&self.ephemeral_pk);
+        out.extend_from_slice(&self.tag);
+        out.extend_from_slice(&self.ciphertext);
+        out
+    }
+
+    /// Parse from the [`Self::to_bytes`] layout.
+    ///
+    /// Returns `None` if the slice is shorter than the 64-byte header.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<SealedBox> {
+        if bytes.len() < 64 {
+            return None;
+        }
+        let mut ephemeral_pk = [0u8; 32];
+        ephemeral_pk.copy_from_slice(&bytes[..32]);
+        let mut tag = [0u8; 32];
+        tag.copy_from_slice(&bytes[32..64]);
+        Some(SealedBox {
+            ephemeral_pk,
+            tag,
+            ciphertext: bytes[64..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xce11b41c)
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let mut rng = rng();
+        let recipient = X25519SecretKey::generate(&mut rng);
+        let boxed = seal(&mut rng, &recipient.public_key(), b"authVec payload");
+        let opened = open(&recipient, &boxed).unwrap();
+        assert_eq!(opened, b"authVec payload");
+    }
+
+    #[test]
+    fn empty_plaintext() {
+        let mut rng = rng();
+        let recipient = X25519SecretKey::generate(&mut rng);
+        let boxed = seal(&mut rng, &recipient.public_key(), b"");
+        assert_eq!(open(&recipient, &boxed).unwrap(), b"");
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let mut rng = rng();
+        let recipient = X25519SecretKey::generate(&mut rng);
+        let mut boxed = seal(&mut rng, &recipient.public_key(), b"secret");
+        boxed.ciphertext[0] ^= 1;
+        assert_eq!(open(&recipient, &boxed), Err(SealedBoxError::TagMismatch));
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let mut rng = rng();
+        let recipient = X25519SecretKey::generate(&mut rng);
+        let mut boxed = seal(&mut rng, &recipient.public_key(), b"secret");
+        boxed.tag[5] ^= 0x80;
+        assert_eq!(open(&recipient, &boxed), Err(SealedBoxError::TagMismatch));
+    }
+
+    #[test]
+    fn wrong_recipient_rejected() {
+        let mut rng = rng();
+        let alice = X25519SecretKey::generate(&mut rng);
+        let eve = X25519SecretKey::generate(&mut rng);
+        let boxed = seal(&mut rng, &alice.public_key(), b"for alice");
+        assert_eq!(open(&eve, &boxed), Err(SealedBoxError::TagMismatch));
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let mut rng = rng();
+        let recipient = X25519SecretKey::generate(&mut rng);
+        let boxed = seal(&mut rng, &recipient.public_key(), b"IMSI-001010123456789");
+        // The cleartext identifier must not appear in the wire form
+        // (the anti-IMSI-catcher property).
+        let wire = boxed.to_bytes();
+        assert!(!wire.windows(b"IMSI".len()).any(|w| w == b"IMSI"));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut rng = rng();
+        let recipient = X25519SecretKey::generate(&mut rng);
+        let boxed = seal(&mut rng, &recipient.public_key(), b"some payload");
+        let parsed = SealedBox::from_bytes(&boxed.to_bytes()).unwrap();
+        assert_eq!(parsed, boxed);
+        assert_eq!(open(&recipient, &parsed).unwrap(), b"some payload");
+    }
+
+    #[test]
+    fn wire_too_short_rejected() {
+        assert!(SealedBox::from_bytes(&[0u8; 63]).is_none());
+    }
+
+    #[test]
+    fn fresh_ephemeral_every_message() {
+        let mut rng = rng();
+        let recipient = X25519SecretKey::generate(&mut rng);
+        let a = seal(&mut rng, &recipient.public_key(), b"x");
+        let b = seal(&mut rng, &recipient.public_key(), b"x");
+        assert_ne!(a.ephemeral_pk, b.ephemeral_pk);
+        assert_ne!(a.ciphertext, b.ciphertext);
+    }
+}

@@ -1,0 +1,168 @@
+//! X25519 Diffie–Hellman (RFC 7748) via the Montgomery ladder.
+//!
+//! Used by [`crate::sealed`] to establish the per-message key of the
+//! ECIES construction that protects SAP payloads.
+
+use crate::field::Fe;
+
+/// An X25519 secret key (32 bytes, clamped at use time).
+#[derive(Clone)]
+pub struct X25519SecretKey(pub [u8; 32]);
+
+/// An X25519 public key (the u-coordinate of `k·B`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct X25519PublicKey(pub [u8; 32]);
+
+impl X25519SecretKey {
+    /// Generate a secret key from an RNG.
+    pub fn generate<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut sk = [0u8; 32];
+        rng.fill(&mut sk);
+        Self(sk)
+    }
+
+    /// Derive the corresponding public key.
+    #[must_use]
+    pub fn public_key(&self) -> X25519PublicKey {
+        let mut base = [0u8; 32];
+        base[0] = 9;
+        X25519PublicKey(x25519(&self.0, &base))
+    }
+
+    /// Compute the shared secret with a peer's public key.
+    #[must_use]
+    pub fn diffie_hellman(&self, peer: &X25519PublicKey) -> [u8; 32] {
+        x25519(&self.0, &peer.0)
+    }
+}
+
+/// Clamp a scalar per RFC 7748 §5.
+#[must_use]
+fn clamp(mut k: [u8; 32]) -> [u8; 32] {
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+    k
+}
+
+/// The X25519 function: scalar-multiply the Montgomery u-coordinate `u`
+/// by the clamped scalar `k`.
+#[must_use]
+pub fn x25519(k: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(*k);
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u8;
+
+    for t in (0..255).rev() {
+        let k_t = (k[t / 8] >> (t % 8)) & 1;
+        swap ^= k_t;
+        if swap == 1 {
+            core::mem::swap(&mut x2, &mut x3);
+            core::mem::swap(&mut z2, &mut z3);
+        }
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121665)));
+    }
+    if swap == 1 {
+        core::mem::swap(&mut x2, &mut x3);
+        core::mem::swap(&mut z2, &mut z3);
+    }
+    x2.mul(z2.invert()).to_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).unwrap();
+        }
+        out
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let k = from_hex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = from_hex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        assert_eq!(
+            hex(&x25519(&k, &u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    // RFC 7748 §5.2 iterated test, 1 iteration.
+    #[test]
+    fn rfc7748_iterated_once() {
+        let mut k = [0u8; 32];
+        k[0] = 9;
+        let u = k;
+        assert_eq!(
+            hex(&x25519(&k, &u)),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+    }
+
+    // RFC 7748 §6.1 Diffie-Hellman test.
+    #[test]
+    fn rfc7748_dh() {
+        let alice_sk = X25519SecretKey(from_hex(
+            "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a",
+        ));
+        let bob_sk = X25519SecretKey(from_hex(
+            "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb",
+        ));
+        let alice_pk = alice_sk.public_key();
+        let bob_pk = bob_sk.public_key();
+        assert_eq!(
+            hex(&alice_pk.0),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        assert_eq!(
+            hex(&bob_pk.0),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let s1 = alice_sk.diffie_hellman(&bob_pk);
+        let s2 = bob_sk.diffie_hellman(&alice_pk);
+        assert_eq!(s1, s2);
+        assert_eq!(
+            hex(&s1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    #[test]
+    fn generated_keys_agree() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let a = X25519SecretKey::generate(&mut rng);
+        let b = X25519SecretKey::generate(&mut rng);
+        assert_eq!(
+            a.diffie_hellman(&b.public_key()),
+            b.diffie_hellman(&a.public_key())
+        );
+    }
+}

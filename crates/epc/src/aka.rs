@@ -1,0 +1,147 @@
+//! EPS-AKA: the baseline's shared-secret mutual authentication.
+//!
+//! Today's attachment authenticates via a symmetric key `K` provisioned
+//! in the SIM and mirrored in the home operator's HSS (paper §2.1, §4.1).
+//! The HSS derives an authentication vector `(RAND, AUTN, XRES, KASME)`
+//! from `K`; the UE proves knowledge of `K` by returning `RES`, and
+//! verifies the network via `AUTN`. We substitute HMAC-SHA-256 for the
+//! MILENAGE f1–f5 functions — the message flow, state machine and key
+//! hierarchy are what the reproduction measures, not the cipher internals.
+
+use cellbricks_crypto::hkdf;
+use cellbricks_crypto::hmac::hmac_sha256;
+
+/// The 16-byte symmetric key shared between a SIM and the HSS.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SharedKey(pub [u8; 16]);
+
+/// An EPS authentication vector as returned by the HSS over S6A.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AkaVector {
+    /// Network challenge.
+    pub rand: [u8; 16],
+    /// Network authentication token (proves the HSS knows `K`).
+    pub autn: [u8; 16],
+    /// Expected UE response.
+    pub xres: [u8; 8],
+    /// Master session key (root of the NAS/AS key hierarchy).
+    pub kasme: [u8; 32],
+}
+
+fn prf(k: &SharedKey, label: &[u8], rand: &[u8; 16]) -> [u8; 32] {
+    let mut msg = Vec::with_capacity(label.len() + 16);
+    msg.extend_from_slice(label);
+    msg.extend_from_slice(rand);
+    hmac_sha256(&k.0, &msg)
+}
+
+/// HSS side: derive the vector for a challenge `rand`.
+#[must_use]
+pub fn derive_vector(k: &SharedKey, rand: [u8; 16]) -> AkaVector {
+    let autn_full = prf(k, b"autn", &rand);
+    let xres_full = prf(k, b"res", &rand);
+    let kasme = prf(k, b"kasme", &rand);
+    let mut autn = [0u8; 16];
+    autn.copy_from_slice(&autn_full[..16]);
+    let mut xres = [0u8; 8];
+    xres.copy_from_slice(&xres_full[..8]);
+    AkaVector {
+        rand,
+        autn,
+        xres,
+        kasme,
+    }
+}
+
+/// UE side: verify the network's AUTN; on success return `(RES, KASME)`.
+#[must_use]
+pub fn ue_respond(k: &SharedKey, rand: &[u8; 16], autn: &[u8; 16]) -> Option<([u8; 8], [u8; 32])> {
+    let expected = derive_vector(k, *rand);
+    if !cellbricks_crypto::ct_eq(&expected.autn, autn) {
+        return None;
+    }
+    Some((expected.xres, expected.kasme))
+}
+
+/// Derive the NAS integrity key from KASME (both the baseline and
+/// CellBricks reuse this hierarchy; CellBricks uses `ss` as KASME, §4.1).
+#[must_use]
+pub fn derive_nas_int_key(kasme: &[u8; 32]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    hkdf::derive(b"", kasme, b"nas-int", &mut out);
+    out
+}
+
+/// Derive the NAS ciphering key from KASME.
+#[must_use]
+pub fn derive_nas_enc_key(kasme: &[u8; 32]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    hkdf::derive(b"", kasme, b"nas-enc", &mut out);
+    out
+}
+
+/// Short NAS message authentication code under the integrity key.
+#[must_use]
+pub fn nas_mac(k_int: &[u8; 32], msg: &[u8]) -> [u8; 8] {
+    let full = hmac_sha256(k_int, msg);
+    let mut mac = [0u8; 8];
+    mac.copy_from_slice(&full[..8]);
+    mac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: SharedKey = SharedKey([0x42; 16]);
+
+    #[test]
+    fn ue_accepts_genuine_network() {
+        let vec = derive_vector(&K, [1; 16]);
+        let (res, kasme) = ue_respond(&K, &vec.rand, &vec.autn).expect("accept");
+        assert_eq!(res, vec.xres);
+        assert_eq!(kasme, vec.kasme);
+    }
+
+    #[test]
+    fn ue_rejects_forged_autn() {
+        let vec = derive_vector(&K, [1; 16]);
+        let mut autn = vec.autn;
+        autn[0] ^= 1;
+        assert!(ue_respond(&K, &vec.rand, &autn).is_none());
+    }
+
+    #[test]
+    fn ue_rejects_wrong_key_network() {
+        // A network that doesn't know K cannot produce a valid AUTN.
+        let other = SharedKey([0x43; 16]);
+        let vec = derive_vector(&other, [1; 16]);
+        assert!(ue_respond(&K, &vec.rand, &vec.autn).is_none());
+    }
+
+    #[test]
+    fn different_rand_different_vector() {
+        let a = derive_vector(&K, [1; 16]);
+        let b = derive_vector(&K, [2; 16]);
+        assert_ne!(a.xres, b.xres);
+        assert_ne!(a.kasme, b.kasme);
+        assert_ne!(a.autn, b.autn);
+    }
+
+    #[test]
+    fn key_hierarchy_domain_separated() {
+        let vec = derive_vector(&K, [7; 16]);
+        assert_ne!(
+            derive_nas_int_key(&vec.kasme),
+            derive_nas_enc_key(&vec.kasme)
+        );
+    }
+
+    #[test]
+    fn nas_mac_detects_tampering() {
+        let k_int = derive_nas_int_key(&[9; 32]);
+        let mac = nas_mac(&k_int, b"security mode command");
+        assert_eq!(mac, nas_mac(&k_int, b"security mode command"));
+        assert_ne!(mac, nas_mac(&k_int, b"security mode commanD"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Baseline LTE evolved packet core (the paper's comparison point).
+//!
+//! This crate reproduces the parts of a Magma-like access gateway that the
+//! CellBricks evaluation measures against (paper §2.1, §5, §6.1): the NAS
+//! signalling used during attachment, EPS-AKA mutual authentication
+//! against a SubscriberDB over the S6A interface — whose **two** AGW↔cloud
+//! round trips (Authentication Information Request + Update Location
+//! Request) are exactly why baseline attach is slower than CellBricks'
+//! single-round-trip SAP in Fig. 7 — plus bearer management, UE IP
+//! allocation, and PGW-style usage accounting.
+//!
+//! Components ([`Enb`], [`Agw`], [`SubscriberDb`], [`UeNas`]) are
+//! [`cellbricks_net::Endpoint`]s wired onto topology nodes; processing
+//! costs are explicit per-message delays so the Fig. 7 latency breakdown
+//! can be instrumented faithfully.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agw;
+pub mod aka;
+pub mod enb;
+pub mod gateway;
+pub mod nas;
+pub mod s6a;
+pub mod subscriber_db;
+pub mod ue_nas;
+pub mod wire;
+
+pub use agw::{Agw, AgwConfig};
+pub use aka::{AkaVector, SharedKey};
+pub use enb::Enb;
+pub use gateway::{Bearer, BearerTable, IpPool};
+pub use nas::NasMessage;
+pub use s6a::S6aMessage;
+pub use subscriber_db::SubscriberDb;
+pub use ue_nas::{UeNas, UeNasConfig};

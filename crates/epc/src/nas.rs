@@ -1,0 +1,350 @@
+//! NAS (non-access-stratum) signalling messages.
+//!
+//! The baseline attach flow uses the standard message set; CellBricks
+//! adds two new NAS messages (paper §5: "we define new NAS messages and
+//! handlers") carrying the SAP payloads as opaque bytes — their
+//! cryptographic content is produced and consumed by `cellbricks-core`.
+
+use crate::wire::{Reader, Writer};
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+/// A NAS message (carried in [`cellbricks_net::PacketKind::Control`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NasMessage {
+    /// UE → network: start attachment (baseline EPS-AKA).
+    AttachRequest {
+        /// Subscriber identity.
+        imsi: u64,
+        /// The UE's signalling address (for routing replies).
+        ue_sig: Ipv4Addr,
+    },
+    /// Network → UE: EPS-AKA challenge.
+    AuthenticationRequest {
+        /// Subscriber identity.
+        imsi: u64,
+        /// Challenge.
+        rand: [u8; 16],
+        /// Network authentication token.
+        autn: [u8; 16],
+    },
+    /// UE → network: challenge response.
+    AuthenticationResponse {
+        /// Subscriber identity.
+        imsi: u64,
+        /// Response derived from the SIM key.
+        res: [u8; 8],
+    },
+    /// Network → UE: activate the security context.
+    SecurityModeCommand {
+        /// Subscriber identity.
+        imsi: u64,
+        /// Integrity MAC under the derived NAS key.
+        mac: [u8; 8],
+    },
+    /// UE → network: security context active.
+    SecurityModeComplete {
+        /// Subscriber identity.
+        imsi: u64,
+        /// Integrity MAC under the derived NAS key.
+        mac: [u8; 8],
+    },
+    /// Network → UE: attach finished; bearer + IP assigned.
+    AttachAccept {
+        /// Subscriber identity.
+        imsi: u64,
+        /// The UE's assigned data-plane address.
+        ue_ip: Ipv4Addr,
+        /// Bearer identity.
+        bearer_id: u8,
+    },
+    /// UE → network: acknowledgement.
+    AttachComplete {
+        /// Subscriber identity.
+        imsi: u64,
+    },
+    /// Network → UE: attachment rejected.
+    AttachReject {
+        /// Subscriber identity.
+        imsi: u64,
+        /// Failure cause.
+        cause: u8,
+    },
+    /// UE → network: release the bearer.
+    DetachRequest {
+        /// Subscriber identity.
+        imsi: u64,
+    },
+    /// Network → UE: bearer released.
+    DetachAccept {
+        /// Subscriber identity.
+        imsi: u64,
+    },
+    /// CellBricks: UE → bTelco secure attachment request. The payload is
+    /// the SAP `authReqU` (sealed + signed; opaque at this layer).
+    SapAttachRequest {
+        /// The UE's signalling address.
+        ue_sig: Ipv4Addr,
+        /// Broker identifier (cleartext, so the bTelco can route).
+        broker_id: String,
+        /// Sealed `authReqU`.
+        payload: Bytes,
+    },
+    /// CellBricks: bTelco → UE attach accept carrying `authRespU`.
+    SapAttachAccept {
+        /// The UE's signalling address.
+        ue_sig: Ipv4Addr,
+        /// Assigned data-plane address.
+        ue_ip: Ipv4Addr,
+        /// Bearer identity.
+        bearer_id: u8,
+        /// Sealed `authRespU`.
+        payload: Bytes,
+    },
+    /// CellBricks: bTelco → UE attach rejected.
+    SapAttachReject {
+        /// The UE's signalling address.
+        ue_sig: Ipv4Addr,
+        /// Failure cause.
+        cause: u8,
+    },
+}
+
+impl NasMessage {
+    /// Encode to wire bytes.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        match self {
+            NasMessage::AttachRequest { imsi, ue_sig } => {
+                w.put_u8(1).put_u64(*imsi).put_ip(*ue_sig);
+            }
+            NasMessage::AuthenticationRequest { imsi, rand, autn } => {
+                w.put_u8(2).put_u64(*imsi).put_fixed(rand).put_fixed(autn);
+            }
+            NasMessage::AuthenticationResponse { imsi, res } => {
+                w.put_u8(3).put_u64(*imsi).put_fixed(res);
+            }
+            NasMessage::SecurityModeCommand { imsi, mac } => {
+                w.put_u8(4).put_u64(*imsi).put_fixed(mac);
+            }
+            NasMessage::SecurityModeComplete { imsi, mac } => {
+                w.put_u8(5).put_u64(*imsi).put_fixed(mac);
+            }
+            NasMessage::AttachAccept {
+                imsi,
+                ue_ip,
+                bearer_id,
+            } => {
+                w.put_u8(6).put_u64(*imsi).put_ip(*ue_ip).put_u8(*bearer_id);
+            }
+            NasMessage::AttachComplete { imsi } => {
+                w.put_u8(7).put_u64(*imsi);
+            }
+            NasMessage::AttachReject { imsi, cause } => {
+                w.put_u8(8).put_u64(*imsi).put_u8(*cause);
+            }
+            NasMessage::DetachRequest { imsi } => {
+                w.put_u8(9).put_u64(*imsi);
+            }
+            NasMessage::DetachAccept { imsi } => {
+                w.put_u8(10).put_u64(*imsi);
+            }
+            NasMessage::SapAttachRequest {
+                ue_sig,
+                broker_id,
+                payload,
+            } => {
+                w.put_u8(11)
+                    .put_ip(*ue_sig)
+                    .put_str(broker_id)
+                    .put_bytes(payload);
+            }
+            NasMessage::SapAttachAccept {
+                ue_sig,
+                ue_ip,
+                bearer_id,
+                payload,
+            } => {
+                w.put_u8(12)
+                    .put_ip(*ue_sig)
+                    .put_ip(*ue_ip)
+                    .put_u8(*bearer_id)
+                    .put_bytes(payload);
+            }
+            NasMessage::SapAttachReject { ue_sig, cause } => {
+                w.put_u8(13).put_ip(*ue_sig).put_u8(*cause);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode from wire bytes; `None` on malformed input.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<NasMessage> {
+        let mut r = Reader::new(bytes);
+        let msg = match r.get_u8()? {
+            1 => NasMessage::AttachRequest {
+                imsi: r.get_u64()?,
+                ue_sig: r.get_ip()?,
+            },
+            2 => NasMessage::AuthenticationRequest {
+                imsi: r.get_u64()?,
+                rand: r.get_fixed()?,
+                autn: r.get_fixed()?,
+            },
+            3 => NasMessage::AuthenticationResponse {
+                imsi: r.get_u64()?,
+                res: r.get_fixed()?,
+            },
+            4 => NasMessage::SecurityModeCommand {
+                imsi: r.get_u64()?,
+                mac: r.get_fixed()?,
+            },
+            5 => NasMessage::SecurityModeComplete {
+                imsi: r.get_u64()?,
+                mac: r.get_fixed()?,
+            },
+            6 => NasMessage::AttachAccept {
+                imsi: r.get_u64()?,
+                ue_ip: r.get_ip()?,
+                bearer_id: r.get_u8()?,
+            },
+            7 => NasMessage::AttachComplete { imsi: r.get_u64()? },
+            8 => NasMessage::AttachReject {
+                imsi: r.get_u64()?,
+                cause: r.get_u8()?,
+            },
+            9 => NasMessage::DetachRequest { imsi: r.get_u64()? },
+            10 => NasMessage::DetachAccept { imsi: r.get_u64()? },
+            11 => NasMessage::SapAttachRequest {
+                ue_sig: r.get_ip()?,
+                broker_id: r.get_str()?,
+                payload: Bytes::from(r.get_bytes()?),
+            },
+            12 => NasMessage::SapAttachAccept {
+                ue_sig: r.get_ip()?,
+                ue_ip: r.get_ip()?,
+                bearer_id: r.get_u8()?,
+                payload: Bytes::from(r.get_bytes()?),
+            },
+            13 => NasMessage::SapAttachReject {
+                ue_sig: r.get_ip()?,
+                cause: r.get_u8()?,
+            },
+            _ => return None,
+        };
+        if !r.is_empty() {
+            return None; // Trailing garbage.
+        }
+        Some(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(msg: &NasMessage) {
+        let bytes = msg.encode();
+        let decoded = NasMessage::decode(&bytes).expect("decodes");
+        assert_eq!(&decoded, msg);
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        let ip = Ipv4Addr::new(10, 1, 2, 3);
+        let msgs = [
+            NasMessage::AttachRequest {
+                imsi: 42,
+                ue_sig: ip,
+            },
+            NasMessage::AuthenticationRequest {
+                imsi: 42,
+                rand: [1; 16],
+                autn: [2; 16],
+            },
+            NasMessage::AuthenticationResponse {
+                imsi: 42,
+                res: [3; 8],
+            },
+            NasMessage::SecurityModeCommand {
+                imsi: 42,
+                mac: [4; 8],
+            },
+            NasMessage::SecurityModeComplete {
+                imsi: 42,
+                mac: [5; 8],
+            },
+            NasMessage::AttachAccept {
+                imsi: 42,
+                ue_ip: ip,
+                bearer_id: 5,
+            },
+            NasMessage::AttachComplete { imsi: 42 },
+            NasMessage::AttachReject { imsi: 42, cause: 3 },
+            NasMessage::DetachRequest { imsi: 42 },
+            NasMessage::DetachAccept { imsi: 42 },
+            NasMessage::SapAttachRequest {
+                ue_sig: ip,
+                broker_id: "broker.example".into(),
+                payload: Bytes::from_static(b"sealed-auth-req"),
+            },
+            NasMessage::SapAttachAccept {
+                ue_sig: ip,
+                ue_ip: Ipv4Addr::new(10, 2, 0, 9),
+                bearer_id: 1,
+                payload: Bytes::from_static(b"sealed-auth-resp"),
+            },
+            NasMessage::SapAttachReject {
+                ue_sig: ip,
+                cause: 9,
+            },
+        ];
+        for m in &msgs {
+            roundtrip(m);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(NasMessage::decode(&[200, 0, 0]), None);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = NasMessage::AttachComplete { imsi: 1 }.encode().to_vec();
+        bytes.push(0);
+        assert_eq!(NasMessage::decode(&bytes), None);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(NasMessage::decode(&[]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = NasMessage::decode(&bytes);
+        }
+
+        #[test]
+        fn prop_attach_request_roundtrip(imsi in any::<u64>(), a in any::<u8>(), b in any::<u8>()) {
+            roundtrip(&NasMessage::AttachRequest {
+                imsi,
+                ue_sig: Ipv4Addr::new(169, 254, a, b),
+            });
+        }
+
+        #[test]
+        fn prop_sap_payload_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+            roundtrip(&NasMessage::SapAttachRequest {
+                ue_sig: Ipv4Addr::new(169, 254, 0, 1),
+                broker_id: "b".into(),
+                payload: Bytes::from(payload),
+            });
+        }
+    }
+}

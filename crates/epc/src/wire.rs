@@ -1,0 +1,5 @@
+//! Binary codec helpers — re-exported from [`cellbricks_net::wire`],
+//! where the wire-format layer lives (NAS, S6A, SAP and QUIC all share
+//! these).
+
+pub use cellbricks_net::wire::{Reader, Writer};

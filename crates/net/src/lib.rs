@@ -1,0 +1,33 @@
+//! Simulated packet network substrate.
+//!
+//! This crate stands in for the physical networks of the CellBricks
+//! evaluation: the srsLTE radio link, the operator backhaul, the wide-area
+//! path to EC2, and — crucially — the T-Mobile access network whose
+//! day/night token-bucket rate policing shapes every result in the paper's
+//! §6.2 (see Appendix A). It is deliberately smoltcp-like: a passive,
+//! poll-based packet mover on the virtual clock with no threads and no
+//! wall-clock time.
+//!
+//! * [`packet`] — wire representations ([`Packet`], [`TcpSegment`], …),
+//! * [`link`] — point-to-point links with latency, loss, drop-tail queueing
+//!   and token-bucket shaping,
+//! * [`policy`] — carrier rate-policy traces (day vs. night, Appendix A),
+//! * [`topology`] — nodes, links and longest-prefix routes,
+//! * [`world`] — the event loop: [`NetWorld`], the [`Endpoint`] trait and
+//!   the [`run_until`] driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod packet;
+pub mod policy;
+pub mod topology;
+pub mod wire;
+pub mod world;
+
+pub use link::{LinkConfig, RateSchedule, Shaper};
+pub use packet::{Endpoint as EndpointAddr, MpSignal, Packet, PacketKind, TcpFlags, TcpSegment};
+pub use policy::{CarrierPolicy, TimeOfDay};
+pub use topology::{LinkId, NodeId, Topology};
+pub use world::{run_between, run_until, Endpoint, LinkStats, NetWorld, Router};

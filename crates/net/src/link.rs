@@ -1,0 +1,512 @@
+//! Point-to-point links: latency, loss, drop-tail queueing and
+//! token-bucket rate shaping.
+//!
+//! The shaper is the heart of the Table 1 / Fig. 8–10 reproduction: the
+//! carrier's rate limiter is modelled as a token bucket whose fill rate
+//! follows a (possibly time-varying) [`RateSchedule`]. The bucket's burst
+//! capacity is what lets a freshly started MPTCP subflow briefly exceed
+//! the steady-state rate right after a handover — the "spike" the paper
+//! observes in Fig. 8 and the >100% relative performance in Fig. 9.
+
+use cellbricks_sim::{SimDuration, SimTime};
+
+/// The service rate of a shaper as a function of time.
+#[derive(Clone, Debug)]
+pub enum RateSchedule {
+    /// A constant rate in bits/s.
+    Constant(f64),
+    /// A piecewise-constant trace: `samples[i]` holds for
+    /// `[i*step, (i+1)*step)`; the last sample extends forever.
+    Trace {
+        /// Bin width.
+        step: SimDuration,
+        /// Rate samples in bits/s (must be non-empty).
+        samples: Vec<f64>,
+    },
+}
+
+impl RateSchedule {
+    /// The instantaneous rate at `t`, bits/s.
+    #[must_use]
+    pub fn rate_bps(&self, t: SimTime) -> f64 {
+        match self {
+            RateSchedule::Constant(r) => *r,
+            RateSchedule::Trace { step, samples } => {
+                let idx = (t.as_nanos() / step.as_nanos()) as usize;
+                samples[idx.min(samples.len() - 1)]
+            }
+        }
+    }
+
+    /// Bytes of tokens accrued over `[t0, t1]`.
+    #[must_use]
+    pub fn integral_bytes(&self, t0: SimTime, t1: SimTime) -> f64 {
+        debug_assert!(t1 >= t0);
+        match self {
+            RateSchedule::Constant(r) => r / 8.0 * t1.since(t0).as_secs_f64(),
+            RateSchedule::Trace { step, samples } => {
+                let mut total = 0.0;
+                let mut cur = t0;
+                while cur < t1 {
+                    let idx = (cur.as_nanos() / step.as_nanos()) as usize;
+                    let bin_end = SimTime::from_nanos(
+                        (cur.as_nanos() / step.as_nanos() + 1) * step.as_nanos(),
+                    );
+                    let seg_end = bin_end.min(t1);
+                    let rate = samples[idx.min(samples.len() - 1)];
+                    total += rate / 8.0 * seg_end.since(cur).as_secs_f64();
+                    cur = seg_end;
+                }
+                total
+            }
+        }
+    }
+
+    /// Earliest time `T ≥ t0` such that `integral_bytes(t0, T) ≥ need`.
+    #[must_use]
+    pub fn time_to_accrue(&self, t0: SimTime, need: f64) -> SimTime {
+        if need <= 0.0 {
+            return t0;
+        }
+        match self {
+            RateSchedule::Constant(r) => {
+                if *r <= 0.0 {
+                    return SimTime::FAR_FUTURE;
+                }
+                t0 + SimDuration::from_secs_f64(need * 8.0 / r)
+            }
+            RateSchedule::Trace { step, samples } => {
+                let mut remaining = need;
+                let mut cur = t0;
+                // Walk bins; the final bin's rate extends forever.
+                loop {
+                    let idx = (cur.as_nanos() / step.as_nanos()) as usize;
+                    let rate = samples[idx.min(samples.len() - 1)];
+                    let last_bin = idx >= samples.len() - 1;
+                    let bin_end = SimTime::from_nanos(
+                        (cur.as_nanos() / step.as_nanos() + 1) * step.as_nanos(),
+                    );
+                    if rate > 0.0 {
+                        let bytes_in_bin = if last_bin {
+                            f64::INFINITY
+                        } else {
+                            rate / 8.0 * bin_end.since(cur).as_secs_f64()
+                        };
+                        if bytes_in_bin >= remaining {
+                            return cur + SimDuration::from_secs_f64(remaining * 8.0 / rate);
+                        }
+                        remaining -= bytes_in_bin;
+                    } else if last_bin {
+                        return SimTime::FAR_FUTURE;
+                    }
+                    cur = bin_end;
+                }
+            }
+        }
+    }
+}
+
+/// Rate-limiting behaviour of a link direction.
+#[derive(Clone, Debug)]
+pub enum Shaper {
+    /// No rate limit: packets only incur latency.
+    None,
+    /// Fixed serialization rate (bits/s) with FIFO queueing.
+    FixedRate(f64),
+    /// Token bucket: tokens accrue per `schedule` up to `burst_bytes`;
+    /// packets are delayed until tokens are available (FIFO).
+    TokenBucket {
+        /// Fill-rate schedule.
+        schedule: RateSchedule,
+        /// Bucket depth in bytes.
+        burst_bytes: f64,
+    },
+}
+
+/// Configuration of one link direction.
+#[derive(Clone, Debug)]
+pub struct LinkConfig {
+    /// Propagation delay.
+    pub latency: SimDuration,
+    /// Random packet loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Rate limiting.
+    pub shaper: Shaper,
+    /// Drop packets that would wait longer than this in the queue
+    /// (drop-tail expressed as a sojourn cap).
+    pub queue_cap: SimDuration,
+}
+
+impl LinkConfig {
+    /// A latency-only link (no loss, no rate limit).
+    #[must_use]
+    pub fn delay_only(latency: SimDuration) -> Self {
+        Self {
+            latency,
+            loss: 0.0,
+            shaper: Shaper::None,
+            queue_cap: SimDuration::from_secs(10),
+        }
+    }
+
+    /// A fixed-rate link.
+    #[must_use]
+    pub fn fixed_rate(latency: SimDuration, rate_bps: f64, queue_cap: SimDuration) -> Self {
+        Self {
+            latency,
+            loss: 0.0,
+            shaper: Shaper::FixedRate(rate_bps),
+            queue_cap,
+        }
+    }
+
+    /// Set the loss probability.
+    #[must_use]
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+}
+
+/// Mutable state of one link direction.
+#[derive(Clone, Debug)]
+pub(crate) struct Direction {
+    pub(crate) config: LinkConfig,
+    /// When the previous packet finishes service (FIFO ordering point).
+    busy_until: SimTime,
+    /// Token-bucket level at `bucket_at` (bytes).
+    bucket_level: f64,
+    bucket_at: SimTime,
+    /// Packets enqueued before this instant are dropped (radio outage).
+    pub(crate) outage_until: SimTime,
+    /// Counters.
+    pub(crate) delivered: u64,
+    pub(crate) dropped: u64,
+}
+
+/// Result of offering a packet to a link direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Offer {
+    /// The packet will arrive at the far end at this instant.
+    Deliver(SimTime),
+    /// The packet was dropped (queue overflow, loss or outage).
+    Drop,
+}
+
+impl Direction {
+    pub(crate) fn new(config: LinkConfig) -> Self {
+        let initial_level = match &config.shaper {
+            Shaper::TokenBucket { burst_bytes, .. } => *burst_bytes,
+            _ => 0.0,
+        };
+        Self {
+            config,
+            busy_until: SimTime::ZERO,
+            bucket_level: initial_level,
+            bucket_at: SimTime::ZERO,
+            outage_until: SimTime::ZERO,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Offer a packet of `size` bytes at `now`; `loss_draw` is a uniform
+    /// [0,1) sample used for the random-loss decision.
+    pub(crate) fn offer(&mut self, now: SimTime, size: u32, loss_draw: f64) -> Offer {
+        if now < self.outage_until {
+            self.dropped += 1;
+            return Offer::Drop;
+        }
+        if loss_draw < self.config.loss {
+            self.dropped += 1;
+            return Offer::Drop;
+        }
+        let start = self.busy_until.max(now);
+        // Compute the service-completion time without committing any
+        // state, so a queue-cap drop leaves the shaper untouched.
+        let (done, bucket_commit) = match &self.config.shaper {
+            Shaper::None => (start, None),
+            Shaper::FixedRate(rate) => {
+                if *rate <= 0.0 {
+                    self.dropped += 1;
+                    return Offer::Drop;
+                }
+                (
+                    start + SimDuration::from_secs_f64(f64::from(size) * 8.0 / rate),
+                    None,
+                )
+            }
+            Shaper::TokenBucket {
+                schedule,
+                burst_bytes,
+            } => {
+                // Refill from bucket_at to start, capped at the burst depth.
+                let accrued = schedule.integral_bytes(self.bucket_at, start);
+                let level = (self.bucket_level + accrued).min(*burst_bytes);
+                let need = f64::from(size);
+                let (eligible, new_level) = if level >= need {
+                    (start, level - need)
+                } else {
+                    (schedule.time_to_accrue(start, need - level), 0.0)
+                };
+                if eligible == SimTime::FAR_FUTURE {
+                    self.dropped += 1;
+                    return Offer::Drop;
+                }
+                (eligible, Some((new_level, eligible)))
+            }
+        };
+        if done.saturating_since(now) > self.config.queue_cap {
+            self.dropped += 1;
+            return Offer::Drop;
+        }
+        if let Some((level, at)) = bucket_commit {
+            self.bucket_level = level;
+            self.bucket_at = at;
+        }
+        self.busy_until = done;
+        self.delivered += 1;
+        Offer::Deliver(done + self.config.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn schedule_constant_integral() {
+        let s = RateSchedule::Constant(8_000_000.0); // 1 MB/s
+        let bytes = s.integral_bytes(SimTime::ZERO, SimTime::from_secs(2));
+        assert!((bytes - 2_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn schedule_trace_integral_piecewise() {
+        let s = RateSchedule::Trace {
+            step: SimDuration::from_secs(1),
+            samples: vec![8.0e6, 16.0e6],
+        };
+        // 0.5s at 1 MB/s + 1s at 2MB/s (trace extends past end).
+        let bytes = s.integral_bytes(SimTime::from_secs_f64(0.5), SimTime::from_secs_f64(2.5));
+        assert!(
+            (bytes - (500_000.0 + 2_000_000.0 + 1_000_000.0)).abs() < 1.0,
+            "{bytes}"
+        );
+    }
+
+    #[test]
+    fn schedule_time_to_accrue_constant() {
+        let s = RateSchedule::Constant(8_000.0); // 1 kB/s
+        let t = s.time_to_accrue(SimTime::ZERO, 500.0);
+        assert_eq!(t, SimTime::from_secs_f64(0.5));
+    }
+
+    #[test]
+    fn schedule_time_to_accrue_across_bins() {
+        let s = RateSchedule::Trace {
+            step: SimDuration::from_secs(1),
+            samples: vec![8_000.0, 80_000.0], // 1 kB/s then 10 kB/s
+        };
+        // Need 2 kB from t=0: 1 kB in first second, 1 kB = 0.1s in second bin.
+        let t = s.time_to_accrue(SimTime::ZERO, 2_000.0);
+        assert_eq!(t, SimTime::from_secs_f64(1.1));
+    }
+
+    #[test]
+    fn schedule_zero_rate_never_accrues() {
+        let s = RateSchedule::Constant(0.0);
+        assert_eq!(s.time_to_accrue(SimTime::ZERO, 1.0), SimTime::FAR_FUTURE);
+    }
+
+    #[test]
+    fn delay_only_link_adds_latency() {
+        let mut d = Direction::new(LinkConfig::delay_only(ms(10)));
+        match d.offer(SimTime::from_secs(1), 1500, 0.9) {
+            Offer::Deliver(t) => assert_eq!(t, SimTime::from_secs(1) + ms(10)),
+            Offer::Drop => panic!("dropped"),
+        }
+    }
+
+    #[test]
+    fn fixed_rate_serializes_fifo() {
+        // 8 kbit/s -> 1000-byte packet takes 1 s.
+        let mut d = Direction::new(LinkConfig::fixed_rate(
+            ms(0),
+            8_000.0,
+            SimDuration::from_secs(100),
+        ));
+        let t0 = SimTime::ZERO;
+        let a = d.offer(t0, 1000, 0.9);
+        let b = d.offer(t0, 1000, 0.9);
+        assert_eq!(a, Offer::Deliver(SimTime::from_secs(1)));
+        assert_eq!(b, Offer::Deliver(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn queue_cap_drops() {
+        let mut d = Direction::new(LinkConfig::fixed_rate(
+            ms(0),
+            8_000.0,
+            SimDuration::from_secs(1),
+        ));
+        assert!(matches!(
+            d.offer(SimTime::ZERO, 1000, 0.9),
+            Offer::Deliver(_)
+        ));
+        // Second packet would wait 1s then serialize 1s -> sojourn 2s > cap.
+        assert_eq!(d.offer(SimTime::ZERO, 1000, 0.9), Offer::Drop);
+        assert_eq!(d.dropped, 1);
+    }
+
+    #[test]
+    fn loss_draw_applies() {
+        let mut d = Direction::new(LinkConfig::delay_only(ms(1)).with_loss(0.5));
+        assert_eq!(d.offer(SimTime::ZERO, 100, 0.4), Offer::Drop);
+        assert!(matches!(
+            d.offer(SimTime::ZERO, 100, 0.6),
+            Offer::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn outage_drops_until() {
+        let mut d = Direction::new(LinkConfig::delay_only(ms(1)));
+        d.outage_until = SimTime::from_secs(5);
+        assert_eq!(d.offer(SimTime::from_secs(4), 100, 0.9), Offer::Drop);
+        assert!(matches!(
+            d.offer(SimTime::from_secs(5), 100, 0.9),
+            Offer::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn token_bucket_burst_then_rate() {
+        // 1 kB/s fill, 2 kB burst: first 2 kB pass immediately, then paced.
+        let cfg = LinkConfig {
+            latency: SimDuration::ZERO,
+            loss: 0.0,
+            shaper: Shaper::TokenBucket {
+                schedule: RateSchedule::Constant(8_000.0),
+                burst_bytes: 2_000.0,
+            },
+            queue_cap: SimDuration::from_secs(100),
+        };
+        let mut d = Direction::new(cfg);
+        let t0 = SimTime::ZERO;
+        assert_eq!(d.offer(t0, 1000, 0.9), Offer::Deliver(t0));
+        assert_eq!(d.offer(t0, 1000, 0.9), Offer::Deliver(t0));
+        // Bucket empty: third packet waits a full second of refill.
+        assert_eq!(
+            d.offer(t0, 1000, 0.9),
+            Offer::Deliver(SimTime::from_secs(1))
+        );
+        // Fourth waits behind the third.
+        assert_eq!(
+            d.offer(t0, 1000, 0.9),
+            Offer::Deliver(SimTime::from_secs(2))
+        );
+    }
+
+    #[test]
+    fn token_bucket_refills_during_idle() {
+        let cfg = LinkConfig {
+            latency: SimDuration::ZERO,
+            loss: 0.0,
+            shaper: Shaper::TokenBucket {
+                schedule: RateSchedule::Constant(8_000.0),
+                burst_bytes: 1_500.0,
+            },
+            queue_cap: SimDuration::from_secs(100),
+        };
+        let mut d = Direction::new(cfg);
+        assert_eq!(
+            d.offer(SimTime::ZERO, 1500, 0.9),
+            Offer::Deliver(SimTime::ZERO)
+        );
+        // After 1.5s idle the bucket is full again (capped at burst).
+        let t = SimTime::from_secs_f64(2.0);
+        assert_eq!(d.offer(t, 1500, 0.9), Offer::Deliver(t));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Conservation: a token-bucket shaper never schedules more bytes
+        /// into any interval than the schedule's integral plus the burst.
+        #[test]
+        fn prop_token_bucket_conserves(
+            rate_kbps in 100u64..20_000,
+            burst_kb in 1u64..200,
+            offers in proptest::collection::vec((0u64..2_000u64, 100u32..1500), 1..60),
+        ) {
+            let rate = rate_kbps as f64 * 1000.0;
+            let burst = burst_kb as f64 * 1000.0;
+            let cfg = LinkConfig {
+                latency: SimDuration::ZERO,
+                loss: 0.0,
+                shaper: Shaper::TokenBucket {
+                    schedule: RateSchedule::Constant(rate),
+                    burst_bytes: burst,
+                },
+                queue_cap: SimDuration::from_secs(1000),
+            };
+            let mut d = Direction::new(cfg);
+            // Offers must be time-ordered.
+            let mut offers = offers;
+            offers.sort_by_key(|&(t, _)| t);
+            let mut delivered_bytes = 0f64;
+            let mut last_delivery = SimTime::ZERO;
+            for (t_ms, size) in offers {
+                let now = SimTime::from_nanos(t_ms * 1_000_000);
+                if let Offer::Deliver(at) = d.offer(now, size, 0.9) {
+                    delivered_bytes += f64::from(size);
+                    prop_assert!(at >= now, "no time travel");
+                    prop_assert!(at >= last_delivery, "FIFO order");
+                    last_delivery = at;
+                    // Everything scheduled up to `at` fits in the
+                    // schedule's integral plus one burst.
+                    let cap = rate / 8.0 * at.as_secs_f64() + burst;
+                    prop_assert!(
+                        delivered_bytes <= cap + 1.0,
+                        "delivered {delivered_bytes} > cap {cap} at {at}"
+                    );
+                }
+            }
+        }
+
+        /// A fixed-rate link serializes back-to-back packets at exactly
+        /// the line rate.
+        #[test]
+        fn prop_fixed_rate_serialization(
+            rate_kbps in 100u64..50_000,
+            sizes in proptest::collection::vec(40u32..1500, 1..40),
+        ) {
+            let rate = rate_kbps as f64 * 1000.0;
+            let mut d = Direction::new(LinkConfig::fixed_rate(
+                SimDuration::ZERO,
+                rate,
+                SimDuration::from_secs(1000),
+            ));
+            let mut expected = 0.0f64;
+            for size in sizes {
+                expected += f64::from(size) * 8.0 / rate;
+                match d.offer(SimTime::ZERO, size, 0.9) {
+                    Offer::Deliver(at) => {
+                        let err = (at.as_secs_f64() - expected).abs();
+                        prop_assert!(err < 1e-6, "at {at}, expected {expected}");
+                    }
+                    Offer::Drop => prop_assert!(false, "no drops expected"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Wire representations.
+//!
+//! Data-plane payloads are content-free (only byte counts are simulated,
+//! as in most packet-level simulators), while control-plane payloads (NAS
+//! messages, SAP, traffic reports) carry real encoded bytes because their
+//! cryptographic content matters.
+
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+/// A transport endpoint address (IP + port).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Endpoint {
+    /// IPv4 address.
+    pub ip: Ipv4Addr,
+    /// Port number.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Construct an endpoint.
+    #[must_use]
+    pub fn new(ip: Ipv4Addr, port: u16) -> Self {
+        Self { ip, port }
+    }
+}
+
+impl core::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+/// TCP header flags (only those the simulation uses).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TcpFlags {
+    /// Synchronize (connection setup).
+    pub syn: bool,
+    /// Acknowledgement field is valid.
+    pub ack: bool,
+    /// Finish (orderly close).
+    pub fin: bool,
+    /// Reset.
+    pub rst: bool,
+}
+
+impl TcpFlags {
+    /// SYN only.
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+    };
+    /// SYN+ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+    /// ACK only.
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+    /// RST.
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+    };
+}
+
+/// MPTCP signalling carried in TCP options (RFC 6824 semantics, abstracted).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MpSignal {
+    /// `MP_CAPABLE`: the initial subflow of an MPTCP connection, carrying
+    /// the connection token that later `MP_JOIN`s reference.
+    Capable {
+        /// Connection token.
+        token: u64,
+    },
+    /// `MP_JOIN`: attach a new subflow to the connection with this token.
+    Join {
+        /// Connection token.
+        token: u64,
+    },
+    /// `REMOVE_ADDR`: the peer should drop subflows using this address.
+    RemoveAddr {
+        /// The address being withdrawn.
+        addr: Ipv4Addr,
+    },
+}
+
+/// A simulated TCP segment.
+///
+/// Sequence numbers are 64-bit and data is content-free: only
+/// `payload_len` is carried. `data_seq` is the MPTCP DSS mapping for the
+/// payload (connection-level sequence of the first payload byte).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Subflow-level sequence number of the first payload byte.
+    pub seq: u64,
+    /// Cumulative acknowledgement (valid if `flags.ack`).
+    pub ack: u64,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Payload length in bytes (content-free).
+    pub payload_len: u32,
+    /// Receive window in bytes.
+    pub window: u32,
+    /// MPTCP option, if any.
+    pub mp: Option<MpSignal>,
+    /// MPTCP DSS mapping: connection-level sequence of the payload.
+    pub data_seq: Option<u64>,
+    /// MPTCP connection-level cumulative data ACK.
+    pub data_ack: Option<u64>,
+    /// SACK blocks: out-of-order ranges the receiver holds
+    /// (`[start, end)` pairs, nearest to the cumulative ACK first).
+    pub sack: Vec<(u64, u64)>,
+}
+
+impl TcpSegment {
+    /// Header bytes on the wire (IP + TCP + options, approximate).
+    #[must_use]
+    pub fn header_len(&self) -> u32 {
+        let mut len = 40; // IPv4 + TCP base headers.
+        if self.mp.is_some() {
+            len += 12;
+        }
+        if self.data_seq.is_some() || self.data_ack.is_some() {
+            len += 20; // DSS option.
+        }
+        if !self.sack.is_empty() {
+            len += 2 + 8 * self.sack.len() as u32; // SACK option.
+        }
+        len
+    }
+}
+
+/// What a packet carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A TCP segment (content-free payload).
+    Tcp(TcpSegment),
+    /// A UDP datagram with real payload bytes plus optional padding that
+    /// counts toward the wire size but carries no content (e.g. RTP media).
+    Udp {
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+        /// Real payload bytes (control traffic) — may be empty.
+        payload: Bytes,
+        /// Additional content-free payload bytes.
+        padding: u32,
+    },
+    /// Link-layer / signalling control message with real bytes (NAS, S1AP,
+    /// SAP transport between infrastructure nodes).
+    Control(Bytes),
+}
+
+/// A packet in flight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Source IP address.
+    pub src: Ipv4Addr,
+    /// Destination IP address.
+    pub dst: Ipv4Addr,
+    /// Payload.
+    pub kind: PacketKind,
+}
+
+impl Packet {
+    /// A TCP packet.
+    #[must_use]
+    pub fn tcp(src: Ipv4Addr, dst: Ipv4Addr, seg: TcpSegment) -> Packet {
+        Packet {
+            src,
+            dst,
+            kind: PacketKind::Tcp(seg),
+        }
+    }
+
+    /// A UDP packet with real payload bytes.
+    #[must_use]
+    pub fn udp(src: Endpoint, dst: Endpoint, payload: Bytes) -> Packet {
+        Packet {
+            src: src.ip,
+            dst: dst.ip,
+            kind: PacketKind::Udp {
+                src_port: src.port,
+                dst_port: dst.port,
+                payload,
+                padding: 0,
+            },
+        }
+    }
+
+    /// A UDP packet of content-free media bytes (e.g. an RTP frame).
+    #[must_use]
+    pub fn udp_media(src: Endpoint, dst: Endpoint, padding: u32) -> Packet {
+        Packet {
+            src: src.ip,
+            dst: dst.ip,
+            kind: PacketKind::Udp {
+                src_port: src.port,
+                dst_port: dst.port,
+                payload: Bytes::new(),
+                padding,
+            },
+        }
+    }
+
+    /// A control-plane packet.
+    #[must_use]
+    pub fn control(src: Ipv4Addr, dst: Ipv4Addr, payload: Bytes) -> Packet {
+        Packet {
+            src,
+            dst,
+            kind: PacketKind::Control(payload),
+        }
+    }
+
+    /// Total bytes this packet occupies on the wire.
+    #[must_use]
+    pub fn wire_size(&self) -> u32 {
+        match &self.kind {
+            PacketKind::Tcp(seg) => seg.header_len() + seg.payload_len,
+            PacketKind::Udp {
+                payload, padding, ..
+            } => 28 + payload.len() as u32 + padding,
+            PacketKind::Control(payload) => 28 + payload.len() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    #[test]
+    fn tcp_wire_size_includes_options() {
+        let mut seg = TcpSegment {
+            src_port: 1,
+            dst_port: 2,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::ACK,
+            payload_len: 1000,
+            window: 65535,
+            mp: None,
+            data_seq: None,
+            data_ack: None,
+            sack: Vec::new(),
+        };
+        let base = Packet::tcp(ip(1), ip(2), seg.clone()).wire_size();
+        assert_eq!(base, 1040);
+        seg.mp = Some(MpSignal::Capable { token: 7 });
+        let with_mp = Packet::tcp(ip(1), ip(2), seg.clone()).wire_size();
+        assert_eq!(with_mp, 1052);
+        seg.data_seq = Some(0);
+        let with_dss = Packet::tcp(ip(1), ip(2), seg).wire_size();
+        assert_eq!(with_dss, 1072);
+    }
+
+    #[test]
+    fn udp_wire_size() {
+        let p = Packet::udp(
+            Endpoint::new(ip(1), 10),
+            Endpoint::new(ip(2), 20),
+            Bytes::from_static(b"hello"),
+        );
+        assert_eq!(p.wire_size(), 33);
+        let m = Packet::udp_media(Endpoint::new(ip(1), 10), Endpoint::new(ip(2), 20), 160);
+        assert_eq!(m.wire_size(), 188);
+    }
+
+    #[test]
+    fn control_wire_size() {
+        let p = Packet::control(ip(1), ip(2), Bytes::from_static(&[0u8; 100]));
+        assert_eq!(p.wire_size(), 128);
+    }
+
+    #[test]
+    fn endpoint_display() {
+        let e = Endpoint::new(ip(9), 443);
+        assert_eq!(e.to_string(), "10.0.0.9:443");
+    }
+}

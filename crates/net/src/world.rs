@@ -1,0 +1,448 @@
+//! The network event loop.
+//!
+//! [`NetWorld`] is a pure packet mover over a [`Topology`]: endpoints hand
+//! it packets, it applies link service (latency, shaping, loss, outages)
+//! and delivers them to the far-end node at the right virtual time.
+//! Protocol logic lives in [`Endpoint`] implementations — hosts, routers,
+//! gateways — driven by [`run_until`].
+
+use crate::link::Offer;
+use crate::packet::Packet;
+use crate::topology::{LinkId, NodeId, Topology};
+use cellbricks_sim::{EventQueue, SimRng, SimTime};
+use std::collections::HashMap;
+
+/// A protocol participant attached to a topology node.
+///
+/// Endpoints are passive (smoltcp-style): the driver pushes received
+/// packets in via [`handle_packet`](Endpoint::handle_packet), asks when
+/// the endpoint next needs the clock via [`poll_at`](Endpoint::poll_at),
+/// and ticks it via [`poll`](Endpoint::poll). Outgoing packets are pushed
+/// into `out` and routed from the endpoint's node.
+pub trait Endpoint {
+    /// The topology node this endpoint is attached to.
+    fn node(&self) -> NodeId;
+    /// A packet arrived at this node.
+    fn handle_packet(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<Packet>);
+    /// The earliest instant this endpoint needs to run (timers).
+    fn poll_at(&self) -> Option<SimTime>;
+    /// Run timers due at `now`.
+    fn poll(&mut self, now: SimTime, out: &mut Vec<Packet>);
+}
+
+struct Arrival {
+    node: NodeId,
+    pkt: Packet,
+}
+
+/// Per-link delivery/drop counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets delivered a→b.
+    pub ab_delivered: u64,
+    /// Packets dropped a→b.
+    pub ab_dropped: u64,
+    /// Packets delivered b→a.
+    pub ba_delivered: u64,
+    /// Packets dropped b→a.
+    pub ba_dropped: u64,
+}
+
+/// The network: topology plus in-flight packets.
+pub struct NetWorld {
+    topology: Topology,
+    arrivals: EventQueue<Arrival>,
+    rng: SimRng,
+    /// Packets dropped because no route matched.
+    pub no_route_drops: u64,
+}
+
+impl NetWorld {
+    /// Wrap a topology; `rng` drives loss decisions.
+    #[must_use]
+    pub fn new(topology: Topology, rng: SimRng) -> Self {
+        Self {
+            topology,
+            arrivals: EventQueue::new(),
+            rng,
+            no_route_drops: 0,
+        }
+    }
+
+    /// The topology (routes may be inspected but links carry state).
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable topology access (e.g. to install routes mid-run).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Send `pkt` from `from`: routes one hop and schedules the arrival.
+    pub fn send(&mut self, now: SimTime, from: NodeId, pkt: Packet) {
+        let Some(link) = self.topology.route(from, pkt.dst) else {
+            self.no_route_drops += 1;
+            return;
+        };
+        let peer = self.topology.peer(link, from);
+        let size = pkt.wire_size();
+        let draw = self.rng.unit();
+        let l = &mut self.topology.links[link.0];
+        let dir = if l.a == from { &mut l.ab } else { &mut l.ba };
+        match dir.offer(now, size, draw) {
+            Offer::Deliver(at) => self.arrivals.push(at, Arrival { node: peer, pkt }),
+            Offer::Drop => {}
+        }
+    }
+
+    /// The instant of the next pending arrival.
+    #[must_use]
+    pub fn next_arrival_at(&self) -> Option<SimTime> {
+        self.arrivals.peek_time()
+    }
+
+    /// Pop all arrivals due at or before `now`.
+    pub fn take_arrivals(&mut self, now: SimTime) -> Vec<(SimTime, NodeId, Packet)> {
+        let mut out = Vec::new();
+        while let Some((at, arrival)) = self.arrivals.pop_due(now) {
+            out.push((at, arrival.node, arrival.pkt));
+        }
+        out
+    }
+
+    /// Blackhole both directions of `link` until `until` (radio outage
+    /// during a handover). Packets already in flight still arrive.
+    pub fn set_outage(&mut self, link: LinkId, until: SimTime) {
+        let l = &mut self.topology.links[link.0];
+        l.ab.outage_until = until;
+        l.ba.outage_until = until;
+    }
+
+    /// Delivery/drop counters for `link`.
+    #[must_use]
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        let l = &self.topology.links[link.0];
+        LinkStats {
+            ab_delivered: l.ab.delivered,
+            ab_dropped: l.ab.dropped,
+            ba_delivered: l.ba.delivered,
+            ba_dropped: l.ba.dropped,
+        }
+    }
+}
+
+/// Drive `endpoints` over `world` from time zero until no event remains
+/// at or before `until`. Returns the time of the last processed event.
+/// For segmented runs (pausing to inject application actions), use
+/// [`run_between`] with an explicit start time.
+pub fn run_until(
+    world: &mut NetWorld,
+    endpoints: &mut [&mut dyn Endpoint],
+    until: SimTime,
+) -> SimTime {
+    run_between(world, endpoints, SimTime::ZERO, until)
+}
+
+/// Drive `endpoints` over `world` until no event remains at or before
+/// `until`, with the clock starting at `from` (events and "as soon as
+/// possible" polls due earlier are processed at `from` — the clock never
+/// runs backwards). Returns the time of the last processed event.
+///
+/// # Panics
+/// Panics if endpoints livelock (an endpoint keeps reporting a due
+/// `poll_at` without making progress).
+pub fn run_between(
+    world: &mut NetWorld,
+    endpoints: &mut [&mut dyn Endpoint],
+    from: SimTime,
+    until: SimTime,
+) -> SimTime {
+    let node_map: HashMap<NodeId, usize> = endpoints
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.node(), i))
+        .collect();
+    assert_eq!(
+        node_map.len(),
+        endpoints.len(),
+        "two endpoints share a node"
+    );
+
+    let mut out: Vec<Packet> = Vec::new();
+    let mut last = from;
+    let mut same_instant_iters = 0u64;
+
+    loop {
+        let next_net = world.next_arrival_at();
+        let next_poll = endpoints.iter().filter_map(|e| e.poll_at()).min();
+        let candidate = match (next_net, next_poll) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => break,
+        };
+        if candidate > until {
+            break;
+        }
+        // Endpoints may report "as soon as possible" with a past instant
+        // (e.g. staged output); the clock never runs backwards.
+        let now = candidate.max(last);
+        if now == last {
+            same_instant_iters += 1;
+            assert!(same_instant_iters < 1_000_000, "endpoint livelock at {now}");
+        } else {
+            same_instant_iters = 0;
+            last = now;
+        }
+
+        for (_at, node, pkt) in world.take_arrivals(now) {
+            if let Some(&i) = node_map.get(&node) {
+                endpoints[i].handle_packet(now, pkt, &mut out);
+                let from = endpoints[i].node();
+                for p in out.drain(..) {
+                    world.send(now, from, p);
+                }
+            }
+            // Packets delivered to nodes with no endpoint vanish (a
+            // misconfigured topology shows up in link stats).
+        }
+
+        for e in endpoints.iter_mut() {
+            if e.poll_at().is_some_and(|t| t <= now) {
+                e.poll(now, &mut out);
+                let from = e.node();
+                for p in out.drain(..) {
+                    world.send(now, from, p);
+                }
+            }
+        }
+    }
+    last
+}
+
+/// A store-and-forward router: re-emits every received packet (the
+/// topology's route tables decide the next hop). An optional per-packet
+/// processing delay models middlebox forwarding cost.
+pub struct Router {
+    node: NodeId,
+    delay: cellbricks_sim::SimDuration,
+    /// Packets waiting out their processing delay.
+    pending: EventQueue<Packet>,
+}
+
+impl Router {
+    /// A router at `node` with the given per-packet processing delay.
+    #[must_use]
+    pub fn new(node: NodeId, delay: cellbricks_sim::SimDuration) -> Self {
+        Self {
+            node,
+            delay,
+            pending: EventQueue::new(),
+        }
+    }
+}
+
+impl Endpoint for Router {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn handle_packet(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<Packet>) {
+        if self.delay == cellbricks_sim::SimDuration::ZERO {
+            out.push(pkt);
+        } else {
+            self.pending.push(now + self.delay, pkt);
+        }
+    }
+
+    fn poll_at(&self) -> Option<SimTime> {
+        self.pending.peek_time()
+    }
+
+    fn poll(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        while let Some((_, pkt)) = self.pending.pop_due(now) {
+            out.push(pkt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use crate::packet::{Packet, PacketKind};
+    use bytes::Bytes;
+    use cellbricks_sim::SimDuration;
+    use std::net::Ipv4Addr;
+
+    const IP_A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const IP_C: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+
+    /// Test endpoint: records receptions; can send one packet at start.
+    struct Probe {
+        node: NodeId,
+        send_at: Option<(SimTime, Packet)>,
+        received: Vec<(SimTime, Packet)>,
+    }
+
+    impl Endpoint for Probe {
+        fn node(&self) -> NodeId {
+            self.node
+        }
+        fn handle_packet(&mut self, now: SimTime, pkt: Packet, _out: &mut Vec<Packet>) {
+            self.received.push((now, pkt));
+        }
+        fn poll_at(&self) -> Option<SimTime> {
+            self.send_at.as_ref().map(|(t, _)| *t)
+        }
+        fn poll(&mut self, _now: SimTime, out: &mut Vec<Packet>) {
+            if let Some((_, pkt)) = self.send_at.take() {
+                out.push(pkt);
+            }
+        }
+    }
+
+    fn control(src: Ipv4Addr, dst: Ipv4Addr) -> Packet {
+        Packet::control(src, dst, Bytes::from_static(b"x"))
+    }
+
+    #[test]
+    fn two_hop_delivery_through_router() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let r = t.add_node("router");
+        let c = t.add_node("c");
+        let l_ar = t.add_symmetric_link(a, r, LinkConfig::delay_only(SimDuration::from_millis(5)));
+        let l_rc = t.add_symmetric_link(r, c, LinkConfig::delay_only(SimDuration::from_millis(7)));
+        t.add_default_route(a, l_ar);
+        t.add_route(r, IP_C, 32, l_rc);
+        t.add_default_route(c, l_rc);
+
+        let mut world = NetWorld::new(t, SimRng::new(1));
+        let mut pa = Probe {
+            node: a,
+            send_at: Some((SimTime::from_secs(1), control(IP_A, IP_C))),
+            received: vec![],
+        };
+        let mut router = Router::new(r, SimDuration::ZERO);
+        let mut pc = Probe {
+            node: c,
+            send_at: None,
+            received: vec![],
+        };
+        run_until(
+            &mut world,
+            &mut [&mut pa, &mut router, &mut pc],
+            SimTime::from_secs(10),
+        );
+        assert_eq!(pc.received.len(), 1);
+        let (at, pkt) = &pc.received[0];
+        assert_eq!(*at, SimTime::from_secs(1) + SimDuration::from_millis(12));
+        assert!(matches!(pkt.kind, PacketKind::Control(_)));
+    }
+
+    #[test]
+    fn router_processing_delay_adds_up() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let r = t.add_node("router");
+        let c = t.add_node("c");
+        let l_ar = t.add_symmetric_link(a, r, LinkConfig::delay_only(SimDuration::from_millis(1)));
+        let l_rc = t.add_symmetric_link(r, c, LinkConfig::delay_only(SimDuration::from_millis(1)));
+        t.add_default_route(a, l_ar);
+        t.add_route(r, IP_C, 32, l_rc);
+        t.add_default_route(c, l_rc);
+
+        let mut world = NetWorld::new(t, SimRng::new(1));
+        let mut pa = Probe {
+            node: a,
+            send_at: Some((SimTime::ZERO, control(IP_A, IP_C))),
+            received: vec![],
+        };
+        let mut router = Router::new(r, SimDuration::from_millis(3));
+        let mut pc = Probe {
+            node: c,
+            send_at: None,
+            received: vec![],
+        };
+        run_until(
+            &mut world,
+            &mut [&mut pa, &mut router, &mut pc],
+            SimTime::from_secs(1),
+        );
+        assert_eq!(pc.received[0].0, SimTime::from_nanos(5_000_000));
+    }
+
+    #[test]
+    fn no_route_counts_drop() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.add_symmetric_link(a, b, LinkConfig::delay_only(SimDuration::from_millis(1)));
+        // No routes installed at all.
+        let mut world = NetWorld::new(t, SimRng::new(1));
+        world.send(SimTime::ZERO, a, control(IP_A, IP_C));
+        assert_eq!(world.no_route_drops, 1);
+        assert!(world.next_arrival_at().is_none());
+    }
+
+    #[test]
+    fn outage_blackholes_new_sends() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let l = t.add_symmetric_link(a, b, LinkConfig::delay_only(SimDuration::from_millis(1)));
+        t.add_default_route(a, l);
+        t.add_default_route(b, l);
+        let mut world = NetWorld::new(t, SimRng::new(1));
+        world.set_outage(l, SimTime::from_secs(5));
+        world.send(SimTime::from_secs(1), a, control(IP_A, IP_C));
+        assert!(world.next_arrival_at().is_none());
+        world.send(SimTime::from_secs(6), a, control(IP_A, IP_C));
+        assert!(world.next_arrival_at().is_some());
+        let stats = world.link_stats(l);
+        assert_eq!(stats.ab_dropped, 1);
+        assert_eq!(stats.ab_delivered, 1);
+    }
+
+    #[test]
+    fn lossy_link_drops_fraction() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let l = t.add_symmetric_link(
+            a,
+            b,
+            LinkConfig::delay_only(SimDuration::from_millis(1)).with_loss(0.3),
+        );
+        t.add_default_route(a, l);
+        let mut world = NetWorld::new(t, SimRng::new(42));
+        for _ in 0..2000 {
+            world.send(SimTime::ZERO, a, control(IP_A, IP_C));
+        }
+        let stats = world.link_stats(l);
+        let loss = stats.ab_dropped as f64 / 2000.0;
+        assert!((loss - 0.3).abs() < 0.05, "loss {loss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "share a node")]
+    fn duplicate_endpoint_nodes_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let mut world = NetWorld::new(t, SimRng::new(1));
+        let mut p1 = Probe {
+            node: a,
+            send_at: None,
+            received: vec![],
+        };
+        let mut p2 = Probe {
+            node: a,
+            send_at: None,
+            received: vec![],
+        };
+        run_until(&mut world, &mut [&mut p1, &mut p2], SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,25 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! Everything in the CellBricks reproduction runs on a virtual clock:
+//! following the smoltcp philosophy, components are event-driven and
+//! poll-based, never touching wall-clock time or OS timers, so every
+//! experiment is reproducible bit-for-bit from its RNG seed.
+//!
+//! * [`SimTime`] / [`SimDuration`] — the virtual clock (nanosecond ticks),
+//! * [`EventQueue`] — a stable-ordered pending-event set,
+//! * [`SimRng`] — one seeded random stream per experiment,
+//! * [`stats`] — Welford summaries, percentiles, and binned time series
+//!   used by the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use stats::{percentile, Summary, TimeSeries};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,209 @@
+//! A stable-ordered discrete-event queue.
+//!
+//! Events scheduled for the same instant pop in insertion order, which
+//! keeps simulations deterministic regardless of heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first,
+        // breaking ties by insertion sequence.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of `(SimTime, E)` with FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at instant `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// The instant of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Pop the earliest event only if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), "c");
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), "later");
+        assert!(q.pop_due(SimTime::from_secs(4)).is_none());
+        assert_eq!(q.pop_due(SimTime::from_secs(5)).unwrap().1, "later");
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2), ());
+        q.push(SimTime::from_secs(1) + SimDuration::from_nanos(1), ());
+        let t = q.peek_time().unwrap();
+        assert_eq!(q.pop().unwrap().0, t);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pops are globally sorted by time, FIFO within a timestamp.
+        #[test]
+        fn prop_pops_sorted_fifo(times in proptest::collection::vec(0u64..50, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(*t), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((at, seq)) = q.pop() {
+                if let Some((lt, lseq)) = last {
+                    prop_assert!(at >= lt);
+                    if at == lt {
+                        prop_assert!(seq > lseq, "FIFO within a timestamp");
+                    }
+                }
+                last = Some((at, seq));
+            }
+        }
+
+        /// pop_due never returns future events and drains exactly the
+        /// due prefix.
+        #[test]
+        fn prop_pop_due_boundary(times in proptest::collection::vec(0u64..100, 1..100), cut in 0u64..100) {
+            let mut q = EventQueue::new();
+            for t in &times {
+                q.push(SimTime::from_nanos(*t), *t);
+            }
+            let now = SimTime::from_nanos(cut);
+            let mut due = 0;
+            while let Some((at, _)) = q.pop_due(now) {
+                prop_assert!(at <= now);
+                due += 1;
+            }
+            let expected = times.iter().filter(|&&t| t <= cut).count();
+            prop_assert_eq!(due, expected);
+            if let Some(t) = q.peek_time() {
+                prop_assert!(t > now);
+            }
+        }
+    }
+}

@@ -1,0 +1,1349 @@
+//! A content-free Reno TCP.
+//!
+//! Sequence numbers are 64-bit (no wraparound) and payloads carry only
+//! their length. The congestion-control behaviour that matters for the
+//! CellBricks evaluation — slow start from a fresh subflow, fast
+//! retransmit on triple duplicate ACKs, RTO with go-back-N and backoff —
+//! follows RFC 5681/6298/6582 closely enough to reproduce the dynamics of
+//! Fig. 8 and Fig. 9.
+
+use cellbricks_net::{EndpointAddr, MpSignal, TcpFlags, TcpSegment};
+use cellbricks_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// TCP tuning parameters.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes).
+    pub mss: u32,
+    /// Initial congestion window in MSS (RFC 6928: 10).
+    pub init_cwnd_mss: u32,
+    /// Advertised receive window (bytes).
+    pub rwnd: u32,
+    /// Lower bound on the retransmission timeout.
+    pub min_rto: SimDuration,
+    /// Upper bound on the retransmission timeout.
+    pub max_rto: SimDuration,
+    /// Initial RTO before any RTT sample (RFC 6298: 1 s).
+    pub initial_rto: SimDuration,
+    /// Give up (reset) after this many consecutive RTOs on one segment.
+    pub max_rto_retries: u32,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        Self {
+            mss: 1460,
+            init_cwnd_mss: 10,
+            rwnd: 4 << 20,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
+            initial_rto: SimDuration::from_secs(1),
+            max_rto_retries: 8,
+        }
+    }
+}
+
+/// Connection phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TcpState {
+    /// Client sent SYN, awaiting SYN-ACK.
+    SynSent,
+    /// Server received SYN, sent SYN-ACK, awaiting ACK.
+    SynReceived,
+    /// Data transfer.
+    Established,
+    /// Connection finished or aborted.
+    Closed,
+}
+
+/// A TCP connection endpoint (either side).
+///
+/// Poll discipline: after feeding a segment with [`Tcp::on_segment`] or
+/// mutating application state, call [`Tcp::poll`] to emit due segments.
+/// [`Tcp::poll_at`] reports only *timer* deadlines (RTO); immediate work
+/// is flushed synchronously by `poll`.
+#[derive(Debug)]
+pub struct Tcp {
+    cfg: TcpConfig,
+    /// Local address/port (source of emitted segments).
+    pub local: EndpointAddr,
+    /// Remote address/port.
+    pub remote: EndpointAddr,
+    state: TcpState,
+
+    // --- Sender ---
+    /// Oldest unacknowledged sequence.
+    snd_una: u64,
+    /// Next sequence to send.
+    snd_nxt: u64,
+    /// Highest sequence ever sent (go-back-N rewinds `snd_nxt`, not this).
+    snd_max: u64,
+    /// Emit a SYN / SYN-ACK on the next poll.
+    syn_pending: bool,
+    /// Congestion window, bytes.
+    cwnd: f64,
+    /// Slow-start threshold, bytes.
+    ssthresh: f64,
+    /// Peer's advertised window.
+    peer_rwnd: u32,
+    dup_acks: u32,
+    /// NewReno: recovery ends when snd_una passes this point.
+    recover: u64,
+    in_recovery: bool,
+    /// Retransmit the segment at `snd_una` on the next poll (fast
+    /// retransmit or SACK partial-ACK hole fill).
+    force_retransmit_head: bool,
+    /// Receiver-reported SACK ranges (merged), i.e. bytes the peer holds
+    /// above the cumulative ACK.
+    sacked: BTreeMap<u64, u64>,
+    /// Hole-scan cursor for SACK-based retransmission.
+    retx_next: u64,
+    /// Lowest RTT ever sampled (Hystart-style delay baseline).
+    min_rtt: Option<SimDuration>,
+    /// CUBIC: window size (bytes) just before the last reduction.
+    cubic_wmax: f64,
+    /// CUBIC: start of the current congestion-avoidance epoch.
+    cubic_epoch: Option<SimTime>,
+    /// CUBIC: time (seconds) to climb back to `cubic_wmax`.
+    cubic_k: f64,
+    /// Total bytes the application has written (None = unbounded bulk).
+    app_written: Option<u64>,
+    /// Application requested close once all data is sent.
+    fin_requested: bool,
+    fin_sent: bool,
+    fin_acked: bool,
+
+    // --- Timers / RTT ---
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    rto_deadline: Option<SimTime>,
+    rto_retries: u32,
+    /// One outstanding RTT sample: (sequence that acks it, send time).
+    rtt_sample: Option<(u64, SimTime)>,
+
+    // --- Receiver ---
+    rcv_nxt: u64,
+    /// Out-of-order ranges: start → end (exclusive).
+    ooo: BTreeMap<u64, u64>,
+    /// Start of the most recently updated out-of-order range (advertised
+    /// first, per RFC 2018).
+    ooo_recent: Option<u64>,
+    /// Rotation cursor so successive ACKs advertise different blocks.
+    sack_rotate: usize,
+    /// In-order payload bytes delivered but not yet read by the app.
+    delivered_unread: u64,
+    peer_fin_seq: Option<u64>,
+    ack_pending: bool,
+
+    // --- MPTCP hooks (used by the mptcp module) ---
+    /// Option to attach to the SYN (MP_CAPABLE / MP_JOIN).
+    pub(crate) syn_mp: Option<MpSignal>,
+    /// One-shot option to attach to the next emitted segment.
+    pub(crate) pending_mp: Option<MpSignal>,
+    /// If set, emitted payload segments carry `data_seq = data_base + seq`.
+    pub(crate) data_base: Option<u64>,
+    /// Data-level cumulative ACK to piggyback on emitted segments.
+    pub(crate) data_ack_out: Option<u64>,
+    /// Set when the connection aborted after too many RTOs.
+    aborted: bool,
+    /// Fast-retransmit episodes entered (diagnostics).
+    pub fast_retx_events: u64,
+    /// Retransmission timeouts fired (diagnostics).
+    pub rto_events: u64,
+}
+
+/// Events surfaced to the caller by `on_segment`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TcpEvents {
+    /// The connection just became established.
+    pub connected: bool,
+    /// New in-order payload bytes became available.
+    pub delivered: u64,
+    /// Data-level ACK carried by the segment (MPTCP).
+    pub data_ack: Option<u64>,
+}
+
+impl Tcp {
+    /// Active open: returns a connection in `SynSent`; `poll` emits the SYN.
+    #[must_use]
+    pub fn connect(
+        cfg: TcpConfig,
+        local: EndpointAddr,
+        remote: EndpointAddr,
+        now: SimTime,
+        syn_mp: Option<MpSignal>,
+    ) -> Tcp {
+        let mut tcp = Tcp::new(cfg, local, remote, TcpState::SynSent);
+        tcp.syn_mp = syn_mp;
+        tcp.arm_rto(now);
+        tcp
+    }
+
+    /// Passive open: accept `syn` and return a connection in
+    /// `SynReceived`; `poll` emits the SYN-ACK.
+    #[must_use]
+    pub fn accept(
+        cfg: TcpConfig,
+        local: EndpointAddr,
+        remote: EndpointAddr,
+        syn: &TcpSegment,
+        now: SimTime,
+    ) -> Tcp {
+        debug_assert!(syn.flags.syn && !syn.flags.ack);
+        let mut tcp = Tcp::new(cfg, local, remote, TcpState::SynReceived);
+        tcp.rcv_nxt = syn.seq + 1;
+        tcp.peer_rwnd = syn.window;
+        tcp.ack_pending = true; // The SYN-ACK.
+        tcp.arm_rto(now);
+        tcp
+    }
+
+    fn new(cfg: TcpConfig, local: EndpointAddr, remote: EndpointAddr, state: TcpState) -> Tcp {
+        let cwnd = f64::from(cfg.init_cwnd_mss * cfg.mss);
+        Tcp {
+            rto: cfg.initial_rto,
+            cfg,
+            local,
+            remote,
+            state,
+            snd_una: 0,
+            snd_nxt: 0,
+            snd_max: 0,
+            syn_pending: true,
+            cwnd,
+            ssthresh: f64::INFINITY,
+            peer_rwnd: u32::MAX,
+            dup_acks: 0,
+            recover: 0,
+            in_recovery: false,
+            force_retransmit_head: false,
+            sacked: BTreeMap::new(),
+            retx_next: 0,
+            min_rtt: None,
+            cubic_wmax: 0.0,
+            cubic_epoch: None,
+            cubic_k: 0.0,
+            app_written: Some(0),
+            fin_requested: false,
+            fin_sent: false,
+            fin_acked: false,
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto_deadline: None,
+            rto_retries: 0,
+            rtt_sample: None,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            ooo_recent: None,
+            sack_rotate: 0,
+            delivered_unread: 0,
+            peer_fin_seq: None,
+            ack_pending: false,
+            syn_mp: None,
+            pending_mp: None,
+            data_base: None,
+            data_ack_out: None,
+            aborted: false,
+            fast_retx_events: 0,
+            rto_events: 0,
+        }
+    }
+
+    // ----- Application surface -----
+
+    /// Queue `bytes` more application data for transmission.
+    pub fn write(&mut self, bytes: u64) {
+        if let Some(total) = &mut self.app_written {
+            *total += bytes;
+        }
+    }
+
+    /// Switch to an unbounded data source (iperf-style bulk sender).
+    pub fn set_bulk(&mut self) {
+        self.app_written = None;
+    }
+
+    /// Request an orderly close once all queued data is delivered.
+    pub fn close(&mut self) {
+        self.fin_requested = true;
+    }
+
+    /// Take (and reset) the count of in-order bytes delivered to the app.
+    pub fn take_delivered(&mut self) -> u64 {
+        std::mem::take(&mut self.delivered_unread)
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// True once the three-way handshake completed.
+    #[must_use]
+    pub fn is_established(&self) -> bool {
+        self.state == TcpState::Established
+    }
+
+    /// True if the connection was aborted by retransmission failure.
+    #[must_use]
+    pub fn is_aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// Bytes in flight (sent but unacknowledged).
+    #[must_use]
+    pub fn flight_size(&self) -> u64 {
+        self.snd_max - self.snd_una
+    }
+
+    /// Congestion window in bytes.
+    #[must_use]
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    /// Smoothed RTT, if sampled.
+    #[must_use]
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Diagnostic snapshot: (in_recovery, dup_acks, sacked_bytes, ssthresh).
+    #[must_use]
+    pub fn debug_cc(&self) -> (bool, u32, u64, f64) {
+        (
+            self.in_recovery,
+            self.dup_acks,
+            self.sacked_bytes(),
+            self.ssthresh,
+        )
+    }
+
+    /// Diagnostic snapshot: (snd_una, snd_nxt, snd_max, rto_deadline, rto).
+    #[must_use]
+    pub fn debug_seq(&self) -> (u64, u64, u64, Option<SimTime>, SimDuration) {
+        (
+            self.snd_una,
+            self.snd_nxt,
+            self.snd_max,
+            self.rto_deadline,
+            self.rto,
+        )
+    }
+
+    /// Cumulative bytes acknowledged by the peer.
+    #[must_use]
+    pub fn bytes_acked(&self) -> u64 {
+        // Subtract the virtual SYN byte once the handshake completed.
+        self.snd_una.saturating_sub(1)
+    }
+
+    /// Abort immediately (used when a subflow's address disappears).
+    pub fn abort(&mut self) {
+        self.state = TcpState::Closed;
+        self.aborted = true;
+        self.rto_deadline = None;
+        self.ack_pending = false;
+    }
+
+    // ----- Segment input -----
+
+    /// Process an incoming segment addressed to this connection.
+    /// Follow with [`Tcp::poll`] to flush responses.
+    pub fn on_segment(&mut self, now: SimTime, seg: &TcpSegment) -> TcpEvents {
+        let mut ev = TcpEvents {
+            data_ack: seg.data_ack,
+            ..TcpEvents::default()
+        };
+        if self.state == TcpState::Closed {
+            return ev;
+        }
+        if seg.flags.rst {
+            self.abort();
+            return ev;
+        }
+        self.peer_rwnd = seg.window;
+
+        match self.state {
+            TcpState::SynSent => {
+                if seg.flags.syn && seg.flags.ack && seg.ack == 1 {
+                    self.snd_una = 1;
+                    self.snd_nxt = self.snd_nxt.max(1);
+                    self.rcv_nxt = seg.seq + 1;
+                    self.state = TcpState::Established;
+                    self.rto_retries = 0;
+                    self.rto_deadline = None;
+                    self.take_rtt_sample_on_ack(now, seg.ack);
+                    self.ack_pending = true;
+                    ev.connected = true;
+                }
+                return ev;
+            }
+            TcpState::SynReceived => {
+                if seg.flags.ack && seg.ack >= 1 {
+                    self.snd_una = self.snd_una.max(1);
+                    self.state = TcpState::Established;
+                    self.rto_retries = 0;
+                    self.rto_deadline = None;
+                    self.take_rtt_sample_on_ack(now, seg.ack);
+                    ev.connected = true;
+                    // Fall through: the ACK may carry data.
+                } else if seg.flags.syn && !seg.flags.ack {
+                    // Duplicate SYN: re-send the SYN-ACK.
+                    self.ack_pending = true;
+                    return ev;
+                } else {
+                    return ev;
+                }
+            }
+            TcpState::Established => {}
+            TcpState::Closed => return ev,
+        }
+
+        // --- Established processing ---
+        if seg.flags.ack {
+            self.process_ack(now, seg);
+        }
+        if seg.payload_len > 0 {
+            ev.delivered = self.process_payload(seg);
+        }
+        if seg.flags.fin {
+            let fin_seq = seg.seq + u64::from(seg.payload_len);
+            self.peer_fin_seq = Some(fin_seq);
+            self.ack_pending = true;
+        }
+        // Consume a peer FIN that is now in order.
+        if let Some(fin_seq) = self.peer_fin_seq {
+            if self.rcv_nxt == fin_seq {
+                self.rcv_nxt = fin_seq + 1;
+                self.ack_pending = true;
+            }
+        }
+        self.maybe_close();
+        ev
+    }
+
+    fn process_ack(&mut self, now: SimTime, seg: &TcpSegment) {
+        let ack = seg.ack;
+        if ack > self.snd_max.max(1) {
+            return; // Acks data never sent; ignore.
+        }
+        // Merge the receiver's SACK blocks into the scoreboard. Fresh
+        // SACK information permits another round of hole retransmission.
+        let before = self.sacked_bytes();
+        for &(start, end) in &seg.sack {
+            if end <= start || end > self.snd_max {
+                continue; // Malformed or beyond anything sent.
+            }
+            self.merge_sack(start, end);
+        }
+        if self.in_recovery && self.sacked_bytes() != before {
+            self.force_retransmit_head = true;
+        }
+        if ack > self.snd_una {
+            // After a go-back-N rewind the cumulative ACK may be ahead of
+            // the resend position; skip what the receiver already has.
+            self.snd_nxt = self.snd_nxt.max(ack);
+            let newly = ack - self.snd_una;
+            self.snd_una = ack;
+            self.rto_retries = 0;
+            // Drop scoreboard entries at or below the cumulative ACK.
+            let obsolete: Vec<u64> = self.sacked.range(..ack).map(|(&s2, _)| s2).collect();
+            for key in obsolete {
+                let end = self.sacked.remove(&key).unwrap();
+                if end > ack {
+                    self.sacked.insert(ack, end);
+                }
+            }
+            self.retx_next = self.snd_una;
+            self.take_rtt_sample_on_ack(now, ack);
+
+            if self.in_recovery {
+                if ack >= self.recover {
+                    // Full ACK: leave recovery, deflate to ssthresh.
+                    self.in_recovery = false;
+                    self.force_retransmit_head = false;
+                    self.cwnd = self.ssthresh;
+                    self.dup_acks = 0;
+                } else {
+                    // Partial ACK (NewReno): retransmit next hole, deflate.
+                    self.cwnd = (self.cwnd - newly as f64 + f64::from(self.cfg.mss))
+                        .max(f64::from(self.cfg.mss));
+                    self.force_retransmit_head = true;
+                }
+            } else {
+                self.dup_acks = 0;
+                if self.cwnd < self.ssthresh {
+                    // Slow start: cwnd grows by bytes acked.
+                    self.cwnd += newly as f64;
+                } else {
+                    self.cubic_update(now, newly);
+                }
+            }
+            // Restart the RTO for remaining flight.
+            self.rto_deadline = if self.outstanding() {
+                Some(now + self.rto)
+            } else {
+                None
+            };
+            if self.fin_sent && ack > self.fin_seq() {
+                self.fin_acked = true;
+            }
+        } else if ack == self.snd_una
+            && seg.payload_len == 0
+            && !seg.flags.syn
+            && !seg.flags.fin
+            && self.snd_max > self.snd_una
+        {
+            // Duplicate ACK. (No window inflation: with SACK, sending
+            // during recovery is pipe-limited per RFC 6675 — the
+            // selectively-acked credit in the window check plays the
+            // role NewReno's inflation did.)
+            self.dup_acks += 1;
+            if self.in_recovery {
+                // Scoreboard updates above may have exposed new holes.
+            } else if self.dup_acks >= 3 && !self.sacked.is_empty() {
+                // Fast retransmit / SACK-based loss recovery: duplicate
+                // ACKs alone are not loss evidence (our own spurious
+                // retransmissions also produce them) — a real hole shows
+                // up as SACKed data above snd_una (RFC 6675 spirit).
+                // CUBIC-style multiplicative decrease (β = 0.7, Linux).
+                self.fast_retx_events += 1;
+                self.cubic_wmax = self.cwnd.max(self.effective_flight() as f64);
+                self.ssthresh = (self.cubic_wmax * 0.7).max(2.0 * f64::from(self.cfg.mss));
+                self.cwnd = self.ssthresh;
+                self.cubic_epoch = None;
+                self.in_recovery = true;
+                self.recover = self.snd_nxt;
+                self.force_retransmit_head = true;
+                self.retx_next = self.snd_una;
+                self.rtt_sample = None; // Karn.
+            }
+        }
+    }
+
+    fn process_payload(&mut self, seg: &TcpSegment) -> u64 {
+        let start = seg.seq;
+        let end = seg.seq + u64::from(seg.payload_len);
+        self.ack_pending = true;
+        if end <= self.rcv_nxt {
+            return 0; // Entirely duplicate.
+        }
+        let before = self.rcv_nxt;
+        if start <= self.rcv_nxt {
+            self.rcv_nxt = end;
+            // Merge any now-contiguous out-of-order ranges.
+            while let Some((&s, &e)) = self.ooo.range(..=self.rcv_nxt).next_back() {
+                if s <= self.rcv_nxt {
+                    self.ooo.remove(&s);
+                    self.rcv_nxt = self.rcv_nxt.max(e);
+                } else {
+                    break;
+                }
+            }
+        } else {
+            // Out of order: record the range (coalescing overlaps lazily).
+            let entry = self.ooo.entry(start).or_insert(end);
+            *entry = (*entry).max(end);
+            self.ooo_recent = Some(start);
+        }
+        let delivered = self.rcv_nxt - before;
+        self.delivered_unread += delivered;
+        delivered
+    }
+
+    fn maybe_close(&mut self) {
+        let peer_done = self.peer_fin_seq.is_some_and(|fin| self.rcv_nxt > fin);
+        if self.fin_acked && peer_done {
+            self.state = TcpState::Closed;
+            self.rto_deadline = None;
+        }
+    }
+
+    // ----- Output -----
+
+    /// Emit all segments that are due at `now`.
+    pub fn poll(&mut self, now: SimTime, out: &mut Vec<TcpSegment>) {
+        // Discard a stale RTT sample (its segment was probably lost);
+        // otherwise a single loss freezes RTT estimation forever.
+        if let Some((_, sent_at)) = self.rtt_sample {
+            if now.saturating_since(sent_at) > self.rto * 2 {
+                self.rtt_sample = None;
+            }
+        }
+        // RTO expiry.
+        if let Some(deadline) = self.rto_deadline {
+            if now >= deadline {
+                self.on_rto(now);
+            }
+        }
+        match self.state {
+            TcpState::SynSent => {
+                if self.syn_pending {
+                    out.push(self.make_syn());
+                    self.syn_pending = false;
+                    self.ack_pending = false;
+                }
+            }
+            TcpState::SynReceived => {
+                if self.syn_pending || self.ack_pending {
+                    out.push(self.make_syn_ack());
+                    self.syn_pending = false;
+                    self.ack_pending = false;
+                }
+            }
+            TcpState::Established => {
+                self.emit_data(now, out);
+                if self.ack_pending {
+                    out.push(self.make_ack());
+                    self.ack_pending = false;
+                }
+            }
+            TcpState::Closed => {}
+        }
+        if self.outstanding() && self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rto);
+        }
+    }
+
+    /// The earliest timer deadline (RTO only; immediate work is flushed
+    /// synchronously by `poll`).
+    #[must_use]
+    pub fn poll_at(&self) -> Option<SimTime> {
+        self.rto_deadline
+    }
+
+    fn emit_data(&mut self, now: SimTime, out: &mut Vec<TcpSegment>) {
+        // Loss recovery: fill holes the SACK scoreboard exposes, lowest
+        // first. Armed once per ACK/SACK event (never per poll) so
+        // retransmissions stay ACK-clocked like RFC 6675's pipe rule.
+        if self.in_recovery && self.force_retransmit_head {
+            self.force_retransmit_head = false;
+            let mut quota = 2u32;
+            let mut seq = self.retx_next.max(self.snd_una);
+            while quota > 0 && seq < self.snd_max.min(self.app_limit()) {
+                if let Some(covered_to) = self.sack_cover(seq) {
+                    seq = covered_to;
+                    continue;
+                }
+                let hole_end = self
+                    .sacked
+                    .range(seq..)
+                    .next()
+                    .map_or(self.snd_max, |(&s2, _)| s2);
+                let len = self.sendable_at(seq).min((hole_end - seq) as u32);
+                if len == 0 {
+                    break;
+                }
+                out.push(self.make_data(seq, len));
+                self.rtt_sample = None; // Karn: no sampling over retransmits.
+                seq += u64::from(len);
+                quota -= 1;
+            }
+            self.retx_next = seq;
+        }
+        // Fresh data within the window; selectively-acked bytes don't
+        // count against the congestion window (pipe accounting).
+        loop {
+            let window = (self.cwnd as u64)
+                .min(u64::from(self.peer_rwnd))
+                .saturating_add(self.sacked_bytes());
+            let limit = self.snd_una + window;
+            if self.snd_nxt >= limit {
+                break;
+            }
+            let available = self.app_limit().saturating_sub(self.snd_nxt);
+            if available == 0 {
+                break;
+            }
+            let window_room = limit - self.snd_nxt;
+            let len = available.min(u64::from(self.cfg.mss)).min(window_room) as u32;
+            if len == 0 {
+                break;
+            }
+            // Sender-side silly-window avoidance (RFC 1122 §4.2.3.4):
+            // never emit a sub-MSS segment unless it carries the final
+            // bytes of application data.
+            if u64::from(len) < u64::from(self.cfg.mss).min(available) {
+                break;
+            }
+            let seg = self.make_data(self.snd_nxt, len);
+            // Only fresh (never-sent) data is eligible for RTT sampling.
+            if self.rtt_sample.is_none() && self.snd_nxt == self.snd_max {
+                self.rtt_sample = Some((self.snd_nxt + u64::from(len), now));
+            }
+            self.snd_nxt += u64::from(len);
+            self.snd_max = self.snd_max.max(self.snd_nxt);
+            out.push(seg);
+        }
+        // FIN when everything is sent.
+        if self.fin_requested && !self.fin_sent && self.snd_nxt == self.app_limit() {
+            self.fin_sent = true;
+            let mut seg = self.base_segment();
+            seg.seq = self.snd_nxt;
+            seg.flags = TcpFlags {
+                fin: true,
+                ack: true,
+                ..TcpFlags::default()
+            };
+            self.snd_nxt += 1; // FIN occupies one sequence number.
+            self.snd_max = self.snd_max.max(self.snd_nxt);
+            out.push(seg);
+            self.ack_pending = false;
+        }
+    }
+
+    /// How many payload bytes can be (re)sent starting at `seq`.
+    fn sendable_at(&self, seq: u64) -> u32 {
+        let end = self.snd_max.min(self.app_limit());
+        end.saturating_sub(seq).min(u64::from(self.cfg.mss)) as u32
+    }
+
+    fn on_rto(&mut self, now: SimTime) {
+        self.rto_deadline = None;
+        if !self.outstanding() {
+            return;
+        }
+        self.rto_retries += 1;
+        if self.rto_retries > self.cfg.max_rto_retries {
+            self.abort();
+            return;
+        }
+        match self.state {
+            TcpState::SynSent | TcpState::SynReceived => {
+                self.syn_pending = true;
+            }
+            TcpState::Established => {
+                // Go-back-N from snd_una (SACKed ranges are skipped by
+                // the hole filler once recovery re-enters).
+                self.rto_events += 1;
+                self.cubic_wmax = self.cubic_wmax.max(self.cwnd);
+                self.ssthresh = (self.cubic_wmax * 0.7).max(2.0 * f64::from(self.cfg.mss));
+                self.cwnd = f64::from(self.cfg.mss);
+                self.cubic_epoch = None;
+                self.in_recovery = false;
+                self.dup_acks = 0;
+                self.retx_next = self.snd_una;
+                self.snd_nxt = self.snd_una;
+                if self.fin_sent && !self.fin_acked {
+                    self.fin_sent = false; // Will be re-emitted after data.
+                }
+                self.rtt_sample = None;
+            }
+            TcpState::Closed => return,
+        }
+        self.rto = (self.rto * 2).min(self.cfg.max_rto);
+        self.rto_deadline = Some(now + self.rto);
+    }
+
+    /// Arm the retransmission timer (handshake phase).
+    fn arm_rto(&mut self, now: SimTime) {
+        self.rto_deadline = Some(now + self.rto);
+    }
+
+    /// CUBIC window growth (RFC 8312): in congestion avoidance, grow the
+    /// window toward `W(t) = C·(t−K)³ + Wmax` where t is the time since
+    /// the epoch started and K = ∛(Wmax·(1−β)/C). Windows are in MSS
+    /// units for the cubic function, per the RFC.
+    fn cubic_update(&mut self, now: SimTime, newly_acked: u64) {
+        const C: f64 = 0.4;
+        const BETA: f64 = 0.7;
+        let mss = f64::from(self.cfg.mss);
+        let epoch = match self.cubic_epoch {
+            Some(e) => e,
+            None => {
+                let wmax_mss = (self.cubic_wmax / mss).max(1.0);
+                let cur_mss = self.cwnd / mss;
+                // If we start below Wmax, K is the climb time; otherwise
+                // probe immediately (K = 0).
+                self.cubic_k = if cur_mss < wmax_mss {
+                    ((wmax_mss - cur_mss) / C).cbrt()
+                } else {
+                    0.0
+                };
+                self.cubic_epoch = Some(now);
+                now
+            }
+        };
+        let t = now.since(epoch).as_secs_f64();
+        let wmax_mss = (self.cubic_wmax / mss).max(1.0);
+        let target_mss = C * (t - self.cubic_k).powi(3) + wmax_mss;
+        let target = (target_mss * mss).max(2.0 * mss);
+        if target > self.cwnd {
+            // Spread the climb over roughly one RTT of ACKs.
+            let step = (target - self.cwnd) * (newly_acked as f64 / self.cwnd).min(1.0);
+            self.cwnd += step;
+        } else {
+            // TCP-friendly floor: at least Reno-style additive increase.
+            self.cwnd += mss * mss / self.cwnd * (newly_acked as f64 / mss).min(1.0);
+        }
+        let _ = BETA;
+    }
+
+    /// Merge `[start, end)` into the SACK scoreboard, coalescing overlaps.
+    fn merge_sack(&mut self, mut start: u64, mut end: u64) {
+        if end <= self.snd_una {
+            return;
+        }
+        start = start.max(self.snd_una);
+        // Absorb any ranges overlapping or adjacent to [start, end).
+        loop {
+            let overlap = self
+                .sacked
+                .range(..=end)
+                .next_back()
+                .filter(|&(&_s, &e)| e >= start)
+                .map(|(&s, &e)| (s, e));
+            match overlap {
+                Some((s, e)) => {
+                    self.sacked.remove(&s);
+                    start = start.min(s);
+                    end = end.max(e);
+                }
+                None => break,
+            }
+        }
+        self.sacked.insert(start, end);
+    }
+
+    /// Bytes the receiver has acknowledged selectively.
+    fn sacked_bytes(&self) -> u64 {
+        self.sacked.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Outstanding bytes actually believed in flight (RFC 6675 pipe-ish):
+    /// sent minus cumulative-acked minus selectively-acked.
+    fn effective_flight(&self) -> u64 {
+        (self.snd_max - self.snd_una).saturating_sub(self.sacked_bytes())
+    }
+
+    /// Is `[seq, seq+1)` covered by the SACK scoreboard? If so, return
+    /// the end of the covering range.
+    fn sack_cover(&self, seq: u64) -> Option<u64> {
+        self.sacked
+            .range(..=seq)
+            .next_back()
+            .filter(|(_, &e)| e > seq)
+            .map(|(_, &e)| e)
+    }
+
+    fn outstanding(&self) -> bool {
+        match self.state {
+            TcpState::SynSent | TcpState::SynReceived => true,
+            TcpState::Established => self.snd_max > self.snd_una,
+            TcpState::Closed => false,
+        }
+    }
+
+    fn app_limit(&self) -> u64 {
+        // Sequence space: SYN occupies byte 0; app data starts at 1.
+        match self.app_written {
+            Some(total) => total + 1,
+            None => u64::MAX / 2,
+        }
+    }
+
+    fn fin_seq(&self) -> u64 {
+        self.app_limit()
+    }
+
+    fn take_rtt_sample_on_ack(&mut self, now: SimTime, ack: u64) {
+        let sample = match self.state {
+            // Handshake ACK samples the SYN round trip.
+            TcpState::Established if self.srtt.is_none() && self.rtt_sample.is_none() => {
+                // SYN was sent at connection creation; approximate with the
+                // configured initial RTO start (no stored timestamp) — skip.
+                None
+            }
+            _ => self.rtt_sample,
+        };
+        if let Some((seq_end, sent_at)) = sample {
+            if ack >= seq_end {
+                let r = now.since(sent_at);
+                match self.srtt {
+                    None => {
+                        self.srtt = Some(r);
+                        self.rttvar = r / 2;
+                    }
+                    Some(srtt) => {
+                        // RFC 6298: beta=1/4, alpha=1/8.
+                        let delta = if r > srtt { r - srtt } else { srtt - r };
+                        self.rttvar = (self.rttvar * 3 + delta) / 4;
+                        self.srtt = Some((srtt * 7 + r) / 8);
+                    }
+                }
+                let srtt = self.srtt.unwrap();
+                let var4 = self.rttvar * 4;
+                let floor = SimDuration::from_millis(1);
+                self.rto = (srtt + var4.max(floor))
+                    .max(self.cfg.min_rto)
+                    .min(self.cfg.max_rto);
+                self.rtt_sample = None;
+                // Hystart-style delay-increase exit from slow start: when
+                // queueing pushes the RTT well above the propagation
+                // baseline, stop doubling (mirrors Linux, which the
+                // paper's testbed runs).
+                self.min_rtt = Some(match self.min_rtt {
+                    Some(m) => m.min(r),
+                    None => r,
+                });
+                if self.cwnd < self.ssthresh {
+                    let base = self.min_rtt.unwrap();
+                    let threshold = base + (base / 4).max(SimDuration::from_millis(4));
+                    if r > threshold {
+                        self.ssthresh = self.cwnd;
+                        self.cubic_wmax = self.cwnd;
+                        self.cubic_epoch = None;
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- Segment construction -----
+
+    fn base_segment(&mut self) -> TcpSegment {
+        // Advertise up to 3 out-of-order ranges (RFC 2018): the most
+        // recently received block first, then rotate through the rest so
+        // the sender's scoreboard converges on the full picture across
+        // successive ACKs.
+        let mut sack: Vec<(u64, u64)> = Vec::with_capacity(3);
+        if let Some(recent) = self.ooo_recent {
+            if let Some((&rs, &re)) = self.ooo.range(..=recent).next_back() {
+                if re > recent {
+                    sack.push((rs, re));
+                }
+            }
+        }
+        if !self.ooo.is_empty() {
+            let all: Vec<(u64, u64)> = self.ooo.iter().map(|(&s2, &e)| (s2, e)).collect();
+            let n = all.len();
+            let mut idx = self.sack_rotate;
+            for _ in 0..n {
+                if sack.len() >= 3 {
+                    break;
+                }
+                let block = all[idx % n];
+                if !sack.contains(&block) {
+                    sack.push(block);
+                }
+                idx += 1;
+            }
+            self.sack_rotate = idx % n.max(1);
+        }
+        TcpSegment {
+            src_port: self.local.port,
+            dst_port: self.remote.port,
+            seq: 0,
+            ack: self.rcv_nxt,
+            flags: TcpFlags::ACK,
+            payload_len: 0,
+            window: self.cfg.rwnd,
+            mp: self.pending_mp.take(),
+            data_seq: None,
+            data_ack: self.data_ack_out,
+            sack,
+        }
+    }
+
+    fn make_syn(&mut self) -> TcpSegment {
+        let mut seg = self.base_segment();
+        seg.seq = 0;
+        seg.ack = 0;
+        seg.flags = TcpFlags::SYN;
+        seg.mp = self.syn_mp;
+        seg.data_ack = None;
+        self.snd_nxt = self.snd_nxt.max(1);
+        self.snd_max = self.snd_max.max(1);
+        seg
+    }
+
+    fn make_syn_ack(&mut self) -> TcpSegment {
+        let mut seg = self.base_segment();
+        seg.seq = 0;
+        seg.flags = TcpFlags::SYN_ACK;
+        seg.mp = self.syn_mp;
+        self.snd_nxt = self.snd_nxt.max(1);
+        self.snd_max = self.snd_max.max(1);
+        seg
+    }
+
+    fn make_ack(&mut self) -> TcpSegment {
+        self.base_segment()
+    }
+
+    fn make_data(&mut self, seq: u64, len: u32) -> TcpSegment {
+        let mut seg = self.base_segment();
+        seg.seq = seq;
+        seg.payload_len = len;
+        if let Some(base) = self.data_base {
+            // Data bytes start at subflow seq 1 (0 is the SYN).
+            seg.data_seq = Some(base + (seq - 1));
+        }
+        self.ack_pending = false; // Data segments carry the ACK.
+        seg
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    pub(crate) fn ep(last: u8, port: u16) -> EndpointAddr {
+        EndpointAddr::new(Ipv4Addr::new(10, 0, 0, last), port)
+    }
+
+    /// Drive two Tcp endpoints through an ideal (in-memory, lossless,
+    /// fixed-delay) channel until quiescent or `steps` exhausted.
+    pub(crate) struct Loopback {
+        pub(crate) a: Tcp,
+        pub(crate) b: Tcp,
+        pub(crate) now: SimTime,
+        pub(crate) delay: SimDuration,
+        /// In-flight segments: (deliver_at, to_b?, segment).
+        pub(crate) wire: Vec<(SimTime, bool, TcpSegment)>,
+        /// Segments to drop (by global emission index), for loss tests.
+        pub(crate) drop_indices: Vec<usize>,
+        /// Payload-bearing segments to drop (by data-emission index);
+        /// pure ACKs always pass.
+        pub(crate) drop_data_indices: Vec<usize>,
+        pub(crate) emitted: usize,
+        pub(crate) data_emitted: usize,
+    }
+
+    impl Loopback {
+        fn new(a: Tcp, b: Tcp) -> Self {
+            Self {
+                a,
+                b,
+                now: SimTime::ZERO,
+                delay: SimDuration::from_millis(10),
+                wire: Vec::new(),
+                drop_indices: Vec::new(),
+                drop_data_indices: Vec::new(),
+                emitted: 0,
+                data_emitted: 0,
+            }
+        }
+
+        fn offer(&mut self, to_b: bool, seg: TcpSegment) {
+            let idx = self.emitted;
+            self.emitted += 1;
+            let mut drop = self.drop_indices.contains(&idx);
+            if seg.payload_len > 0 {
+                let didx = self.data_emitted;
+                self.data_emitted += 1;
+                drop |= self.drop_data_indices.contains(&didx);
+            }
+            if !drop {
+                self.wire.push((self.now + self.delay, to_b, seg));
+            }
+        }
+
+        fn flush(&mut self) {
+            let mut out = Vec::new();
+            self.a.poll(self.now, &mut out);
+            for seg in out.drain(..) {
+                self.offer(true, seg);
+            }
+            self.b.poll(self.now, &mut out);
+            for seg in out.drain(..) {
+                self.offer(false, seg);
+            }
+        }
+
+        /// Advance to the next wire delivery or timer; returns false when idle.
+        pub(crate) fn step(&mut self) -> bool {
+            self.flush();
+            let next_wire = self.wire.iter().map(|(t, ..)| *t).min();
+            let next_timer = [self.a.poll_at(), self.b.poll_at()]
+                .into_iter()
+                .flatten()
+                .min();
+            let next = match (next_wire, next_timer) {
+                (Some(w), Some(t)) => w.min(t),
+                (Some(w), None) => w,
+                (None, Some(t)) => t,
+                (None, None) => return false,
+            };
+            self.now = self.now.max(next);
+            let due: Vec<_> = {
+                let now = self.now;
+                let mut due = Vec::new();
+                self.wire.retain(|(t, to_b, seg)| {
+                    if *t <= now {
+                        due.push((*to_b, seg.clone()));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                due
+            };
+            for (to_b, seg) in due {
+                if to_b {
+                    self.b.on_segment(self.now, &seg);
+                } else {
+                    self.a.on_segment(self.now, &seg);
+                }
+            }
+            self.flush();
+            true
+        }
+
+        pub(crate) fn run(&mut self, steps: usize) {
+            for _ in 0..steps {
+                if !self.step() {
+                    break;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn pair() -> Loopback {
+        let now = SimTime::ZERO;
+        let client = Tcp::connect(TcpConfig::default(), ep(1, 4000), ep(2, 80), now, None);
+        // Simulate the listener: build the SYN by polling the client once.
+        let mut out = Vec::new();
+        let mut client = client;
+        client.poll(now, &mut out);
+        let syn = out.pop().unwrap();
+        let server = Tcp::accept(TcpConfig::default(), ep(2, 80), ep(1, 4000), &syn, now);
+        Loopback::new(client, server)
+    }
+
+    #[test]
+    fn handshake_establishes_both_sides() {
+        let mut lb = pair();
+        lb.run(10);
+        assert!(lb.a.is_established());
+        assert!(lb.b.is_established());
+    }
+
+    #[test]
+    fn data_transfer_completes() {
+        let mut lb = pair();
+        lb.a.write(100_000);
+        lb.run(500);
+        assert_eq!(lb.b.take_delivered(), 100_000);
+        assert_eq!(lb.a.bytes_acked(), 100_000);
+    }
+
+    #[test]
+    fn bidirectional_transfer() {
+        let mut lb = pair();
+        lb.a.write(40_000);
+        lb.b.write(25_000);
+        lb.run(500);
+        assert_eq!(lb.b.take_delivered(), 40_000);
+        assert_eq!(lb.a.take_delivered(), 25_000);
+    }
+
+    #[test]
+    fn slow_start_doubles_cwnd() {
+        let mut lb = pair();
+        lb.a.set_bulk();
+        let init = lb.a.cwnd();
+        // One RTT of acks should roughly double cwnd in slow start.
+        for _ in 0..6 {
+            lb.step();
+        }
+        assert!(
+            lb.a.cwnd() >= init * 2 - 1460,
+            "cwnd {} not doubled from {init}",
+            lb.a.cwnd()
+        );
+    }
+
+    #[test]
+    fn lost_data_segment_recovered_by_fast_retransmit() {
+        let mut lb = pair();
+        // Drop the 4th data segment of the first burst; ACKs still flow,
+        // so triple duplicate ACKs trigger fast retransmit.
+        lb.drop_data_indices = vec![3];
+        lb.a.write(60_000);
+        lb.run(800);
+        assert_eq!(lb.b.take_delivered(), 60_000, "receiver got all data");
+        assert_eq!(lb.a.bytes_acked(), 60_000);
+    }
+
+    #[test]
+    fn lost_syn_retried_by_rto() {
+        let mut lb = pair();
+        lb.drop_indices = vec![0]; // The first SYN... already captured in pair();
+                                   // pair() already consumed the first SYN to build the server, so drop
+                                   // the retransmitted one instead and ensure we still establish.
+        lb.run(50);
+        assert!(lb.a.is_established());
+        assert!(lb.b.is_established());
+    }
+
+    #[test]
+    fn rto_recovers_from_burst_loss() {
+        let mut lb = pair();
+        // Drop a long run of data segments (ACKs still flow); recovery
+        // must eventually come from RTOs / NewReno hole-filling.
+        lb.drop_data_indices = (5..15).collect();
+        lb.a.write(30_000);
+        lb.run(2000);
+        assert_eq!(lb.b.take_delivered(), 30_000);
+    }
+
+    #[test]
+    fn srtt_converges_to_path_rtt() {
+        let mut lb = pair();
+        lb.a.write(200_000);
+        lb.run(1000);
+        let srtt = lb.a.srtt().expect("sampled");
+        let rtt_ms = srtt.as_millis_f64();
+        assert!((rtt_ms - 20.0).abs() < 10.0, "srtt {rtt_ms} ms");
+    }
+
+    #[test]
+    fn fin_closes_both_sides() {
+        let mut lb = pair();
+        lb.a.write(5_000);
+        lb.a.close();
+        lb.b.close();
+        lb.run(500);
+        assert_eq!(lb.a.state(), TcpState::Closed);
+        assert_eq!(lb.b.state(), TcpState::Closed);
+        assert!(!lb.a.is_aborted());
+    }
+
+    #[test]
+    fn abort_after_max_retries() {
+        let now = SimTime::ZERO;
+        let mut client = Tcp::connect(TcpConfig::default(), ep(1, 1), ep(2, 2), now, None);
+        // Never deliver anything; just fire timers until abort.
+        let mut out = Vec::new();
+        let mut now = now;
+        for _ in 0..64 {
+            client.poll(now, &mut out);
+            out.clear();
+            match client.poll_at() {
+                Some(t) => now = t,
+                None => break,
+            }
+        }
+        assert!(client.is_aborted());
+    }
+
+    #[test]
+    fn rst_aborts() {
+        let mut lb = pair();
+        lb.run(5);
+        let rst = TcpSegment {
+            src_port: 80,
+            dst_port: 4000,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::RST,
+            payload_len: 0,
+            window: 0,
+            mp: None,
+            data_seq: None,
+            data_ack: None,
+            sack: Vec::new(),
+        };
+        lb.a.on_segment(lb.now, &rst);
+        assert!(lb.a.is_aborted());
+    }
+
+    #[test]
+    fn out_of_order_delivery_counts_once() {
+        let mut lb = pair();
+        lb.a.write(14_600); // Exactly 10 MSS.
+        lb.run(500);
+        assert_eq!(lb.b.take_delivered(), 14_600);
+        // A second read returns nothing.
+        assert_eq!(lb.b.take_delivered(), 0);
+    }
+
+    #[test]
+    fn mp_syn_option_carried() {
+        let now = SimTime::ZERO;
+        let mut client = Tcp::connect(
+            TcpConfig::default(),
+            ep(1, 1),
+            ep(2, 2),
+            now,
+            Some(MpSignal::Capable { token: 99 }),
+        );
+        let mut out = Vec::new();
+        client.poll(now, &mut out);
+        assert_eq!(out[0].mp, Some(MpSignal::Capable { token: 99 }));
+    }
+
+    #[test]
+    fn data_base_stamps_dss() {
+        // Drive the handshake by hand so we can observe the first data
+        // segment directly.
+        let now = SimTime::ZERO;
+        let mut client = Tcp::connect(TcpConfig::default(), ep(1, 4000), ep(2, 80), now, None);
+        let mut out = Vec::new();
+        client.poll(now, &mut out);
+        let syn = out.pop().unwrap();
+        let mut server = Tcp::accept(TcpConfig::default(), ep(2, 80), ep(1, 4000), &syn, now);
+        server.poll(now, &mut out);
+        let syn_ack = out.pop().unwrap();
+        client.on_segment(now, &syn_ack);
+        assert!(client.is_established());
+        client.data_base = Some(1000);
+        client.write(1460);
+        client.poll(now, &mut out);
+        let data_seg = out.iter().find(|s| s.payload_len > 0).expect("data");
+        // First app byte is subflow seq 1 -> data_seq = 1000.
+        assert_eq!(data_seg.data_seq, Some(1000));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::tests::*;
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Exactly-once in-order delivery under arbitrary data-segment
+        /// loss patterns: whatever is dropped, the receiver ends up with
+        /// exactly the bytes written, and the sender knows it.
+        #[test]
+        fn prop_delivery_exact_under_loss(
+            bytes in 1_000u64..120_000,
+            drops in proptest::collection::btree_set(0usize..60, 0..12),
+        ) {
+            let mut lb = pair();
+            lb.drop_data_indices = drops.into_iter().collect();
+            lb.a.write(bytes);
+            lb.run(4000);
+            prop_assert_eq!(lb.b.take_delivered(), bytes);
+            prop_assert_eq!(lb.a.bytes_acked(), bytes);
+        }
+
+        /// cwnd never collapses below one MSS and flight never exceeds
+        /// what was actually sent.
+        #[test]
+        fn prop_cwnd_and_flight_invariants(
+            bytes in 10_000u64..80_000,
+            drops in proptest::collection::btree_set(0usize..40, 0..8),
+        ) {
+            let mut lb = pair();
+            lb.drop_data_indices = drops.into_iter().collect();
+            lb.a.write(bytes);
+            for _ in 0..2000 {
+                if !lb.step() {
+                    break;
+                }
+                prop_assert!(lb.a.cwnd() >= 1460);
+                prop_assert!(lb.a.flight_size() <= bytes + 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! The flagship demo: a UE drives past two single-tower bTelcos while
+//! streaming, and nothing breaks.
+//!
+//! Everything is real (within the simulator): the SAP handshake crosses
+//! the network with actual Ed25519/X25519 cryptography, the bTelco's PGW
+//! accounts every byte, MPTCP carries the download across the IP change,
+//! and both sides' sealed traffic reports reconcile at the broker.
+//!
+//! Run with: `cargo run --release --example full_stack_handover`
+
+#[path = "../tests/common/mod.rs"]
+mod common;
+
+use cellbricks::net::EndpointAddr;
+use cellbricks::sim::{SimDuration, SimTime};
+use common::{CellBricksWorld, AGW1_SIG, AGW2_SIG, SERVER_IP, TELCO1, TELCO2};
+
+fn main() {
+    let mut w = CellBricksWorld::build(0xd01d);
+
+    println!("t=0.0s   UE in range of {TELCO1}; SAP attach...");
+    w.ue.start_attach(SimTime::ZERO, TELCO1, AGW1_SIG);
+    w.run_to(SimTime::from_secs(1));
+    let addr1 = w.ue.host.addr().expect("attached");
+    println!(
+        "t=1.0s   attached: IP {addr1} (bTelco 1's pool), attach latency {:.1} ms, session #{}",
+        w.ue.attach_latency_ms.mean(),
+        w.ue.session_id().unwrap()
+    );
+
+    println!("t=1.0s   opening an MPTCP download from {SERVER_IP}...");
+    w.server.mp_listen(5001);
+    let conn =
+        w.ue.host
+            .mp_connect(w.cursor, EndpointAddr::new(SERVER_IP, 5001));
+    w.run_to(SimTime::from_secs(2));
+    let server_conn = w.server.take_accepted_mp()[0];
+    w.server.mp_set_bulk(w.cursor, server_conn);
+    w.run_to(SimTime::from_secs(12));
+    let before = w.ue.host.mp(conn).data_received();
+    println!(
+        "t=12.0s  {:.2} MB received; PGW-1 counters: DL {} / UL {} bytes",
+        before as f64 / 1e6,
+        w.telco1.bearers.iter().next().map_or(0, |b| b.dl_bytes),
+        w.telco1.bearers.iter().next().map_or(0, |b| b.ul_bytes),
+    );
+
+    println!("t=12.0s  driving out of range: host-driven handover to {TELCO2}");
+    let ho = w.cursor;
+    w.ue.detach(ho);
+    w.select_radio(2);
+    w.ue.start_attach(ho, TELCO2, AGW2_SIG);
+    w.run_to(ho + SimDuration::from_secs(1));
+    let addr2 = w.ue.host.addr().expect("re-attached");
+    println!("t=13.0s  attached to bTelco 2: IP {addr1} → {addr2}; MPTCP address worker armed");
+
+    w.run_to(ho + SimDuration::from_secs(10));
+    let after = w.ue.host.mp(conn).data_received();
+    println!(
+        "t=22.0s  same connection, {:.2} MB total (+{:.2} MB after the switch)",
+        after as f64 / 1e6,
+        (after - before) as f64 / 1e6
+    );
+    println!(
+        "         subflows created: {} (one per bTelco), alive now: {}",
+        w.ue.host.mp(conn).subflows_created,
+        w.ue.host.mp(conn).alive_subflows()
+    );
+
+    // Let a few billing cycles elapse.
+    w.run_to(ho + SimDuration::from_secs(25));
+    println!(
+        "t=37.0s  broker cross-checked {} billing cycle(s); bad reports: {}",
+        w.brokerd.cycles_checked, w.brokerd.bad_reports
+    );
+    let telco_id = w.ue.serving_telco().unwrap();
+    println!(
+        "         serving bTelco reputation: {:.2} (mismatches: {})",
+        w.brokerd.reputation.score(telco_id),
+        w.brokerd.reputation.mismatches(telco_id)
+    );
+    if let Some(session) = w.ue.session_id() {
+        if let Some((dl, ul)) = w.brokerd.settled_bytes(session) {
+            println!(
+                "         session #{session} settled so far: DL {:.2} MB / UL {:.1} kB",
+                dl as f64 / 1e6,
+                ul as f64 / 1e3
+            );
+        }
+    }
+    println!("\nTwo untrusted single-tower operators served one user mid-download,");
+    println!("with no roaming agreement, no IMSI exposure, and verifiable billing.");
+}

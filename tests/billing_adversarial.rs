@@ -1,0 +1,117 @@
+//! Adversarial billing over the full network: a bTelco that inflates its
+//! usage reports is caught by the broker's Fig. 5 cross-check and loses
+//! admission; a tampered UE report is rejected and the user is suspected.
+
+mod common;
+
+use cellbricks::core::brokerd::BrokerWire;
+use cellbricks::net::{Endpoint, EndpointAddr, Packet};
+use cellbricks::sim::SimTime;
+use common::{CellBricksWorld, AGW1_SIG, BROKER_IP, SERVER_IP, TELCO1};
+
+/// Build the world, attach, and start a bulk download so usage accrues.
+fn world_with_traffic(seed: u64, overcount: f64) -> CellBricksWorld {
+    let mut w = CellBricksWorld::build(seed);
+    // Make bTelco 1 dishonest.
+    w.telco1.set_overcount_factor(overcount);
+    w.ue.start_attach(SimTime::ZERO, TELCO1, AGW1_SIG);
+    w.run_to(SimTime::from_secs(1));
+    assert!(w.ue.is_attached());
+    w.server.mp_listen(5001);
+    let _conn =
+        w.ue.host
+            .mp_connect(w.cursor, EndpointAddr::new(SERVER_IP, 5001));
+    w.run_to(SimTime::from_secs(2));
+    let sc = w.server.take_accepted_mp()[0];
+    w.server.mp_set_bulk(w.cursor, sc);
+    w
+}
+
+#[test]
+fn honest_btelco_keeps_admission() {
+    let mut w = world_with_traffic(10, 1.0);
+    w.run_to(SimTime::from_secs(33));
+    let telco = w.ue.serving_telco().unwrap();
+    assert!(w.brokerd.cycles_checked >= 5);
+    // "Small discrepancies are expected and tolerated" (§4.3): radio-queue
+    // loss during slow start can flag an occasional cycle; the weighted
+    // score must stay high and the bTelco admitted.
+    assert!(w.brokerd.reputation.mismatches(telco) <= 1);
+    assert!(w.brokerd.reputation.score(telco) > 0.9);
+    assert!(w.brokerd.reputation.admit(telco));
+}
+
+#[test]
+fn inflating_btelco_loses_admission() {
+    let mut w = world_with_traffic(11, 1.6);
+    w.run_to(SimTime::from_secs(33));
+    let telco = w.ue.serving_telco().unwrap();
+    assert!(
+        w.brokerd.reputation.mismatches(telco) >= 3,
+        "mismatches {}",
+        w.brokerd.reputation.mismatches(telco)
+    );
+    assert!(
+        !w.brokerd.reputation.admit(telco),
+        "score {}",
+        w.brokerd.reputation.score(telco)
+    );
+}
+
+#[test]
+fn refused_btelco_cannot_authorize_new_sessions() {
+    let mut w = world_with_traffic(12, 1.6);
+    w.run_to(SimTime::from_secs(33));
+    assert!(!w.brokerd.reputation.admit(w.ue.serving_telco().unwrap()));
+    // A fresh attach through the cheater is now refused by the broker.
+    w.ue.detach(w.cursor);
+    w.run_to(SimTime::from_secs(34));
+    w.ue.start_attach(w.cursor, TELCO1, AGW1_SIG);
+    w.run_to(SimTime::from_secs(36));
+    assert!(
+        !w.ue.is_attached(),
+        "broker refused the disreputable bTelco"
+    );
+    assert!(w.ue.failures >= 1);
+    assert!(w.brokerd.auth_err >= 1);
+}
+
+#[test]
+fn settlement_falls_back_to_ue_figures_on_mismatch() {
+    let mut w = world_with_traffic(13, 2.0);
+    w.run_to(SimTime::from_secs(22));
+    let session = w.ue.session_id().unwrap();
+    let (settled_dl, _) = w.brokerd.settled_bytes(session).unwrap();
+    // The bTelco claimed 2x; settlement must track the UE's honest figure
+    // (what actually crossed the radio), not the inflated claim.
+    let bearer_dl = w.telco1.bearers.iter().next().map_or(0, |b| b.dl_bytes);
+    assert!(
+        settled_dl < (bearer_dl as f64 * 1.3) as u64,
+        "settled {settled_dl} vs PGW {bearer_dl} (inflated claim rejected)"
+    );
+}
+
+#[test]
+fn forged_ue_report_marks_user_suspect() {
+    let mut w = world_with_traffic(14, 1.0);
+    w.run_to(SimTime::from_secs(5));
+    let session = w.ue.session_id().unwrap();
+    // An attacker (who does not hold the broker-issued baseband key)
+    // injects a forged "UE" report for the session.
+    let forged = BrokerWire::Report {
+        session_id: session,
+        from_ue: true,
+        sealed: bytes::Bytes::from_static(&[0u8; 96]),
+    };
+    let mut sink = Vec::new();
+    w.brokerd.handle_packet(
+        SimTime::from_secs(5),
+        Packet::control(AGW1_SIG, BROKER_IP, forged.encode()),
+        &mut sink,
+    );
+    assert_eq!(w.brokerd.bad_reports, 1);
+    // The paper's §4.3: unverifiable UE reports put the user on the
+    // suspect list, and suspect users are refused service.
+    let user = w.ue_identity();
+    assert!(w.brokerd.reputation.is_suspect(user));
+}
