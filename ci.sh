@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Local CI entrypoint — runs the exact same gate as
+# .github/workflows/ci.yml so a green `./ci.sh` means a green PR.
+#
+# The build is fully offline: every third-party dependency is a local
+# path shim under crates/shims/, so no registry access is required.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release --workspace
+run cargo test -q --workspace
+
+# Smoke-check the telemetry pipeline end to end: a short fig7 run must
+# produce a metrics snapshot with the per-phase attach histograms.
+run cargo run --release -q -p cellbricks-bench --bin exp_fig7 -- --trials 3
+test -s results/fig7.metrics.json
+grep -q '"fig7.us-east-1.CB.total_ns"' results/fig7.metrics.json
+echo
+echo "==> results/fig7.metrics.json OK"
+
+echo
+echo "CI gate passed."

@@ -34,6 +34,7 @@ fn stats(v: &[f64]) -> (f64, f64, f64) {
 }
 
 fn main() {
+    cellbricks_bench::telemetry_init();
     let duration = arg_secs("--duration", 500);
     let seed = arg_u64("--seed", 42);
     eprintln!("fig10: {duration}s downtown drives, day and night (seed {seed})...");
@@ -58,4 +59,5 @@ fn main() {
         "paper reference: day avg 1.03 / std 0.32 / peak 1.75; \
          night avg 14.95 / std 8.94 / peak 52.5; ratio 14.5x"
     );
+    cellbricks_bench::telemetry_finish("fig10");
 }

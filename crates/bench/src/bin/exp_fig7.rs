@@ -5,14 +5,34 @@
 //! us-east-1 BL 166.48 ms vs CB 98.62 ms (−40.8%); locally ≈70% of the
 //! time is processing (AGW + Brokerd ≈ 20 ms).
 //!
+//! Besides the mean-breakdown table the binary prints per-cell attach
+//! latency percentiles (p50/p95/p99) taken from the telemetry histograms
+//! and exports the same data to `results/fig7.metrics.json` — the two
+//! views come from one snapshot, so they always agree.
+//!
 //! Usage: `cargo run --release -p cellbricks-bench --bin exp_fig7
-//!         [--trials N] [--seed S]`
+//!         [--trials N | --duration SECS] [--seed S]`
+//!
+//! `--duration SECS` sizes the run by simulated time instead of trial
+//! count (each trial occupies a 3 s attach/detach window per cell), so
+//! wall-clock comparisons at different telemetry settings use identical
+//! deterministic workloads.
 
-use cellbricks_bench::{arg_u64, rule};
+use cellbricks_bench::{arg_u64, rule, telemetry_finish, telemetry_init};
 use cellbricks_core::attach_bench::fig7_table;
 
+/// Milliseconds represented by a `*_ns` histogram value.
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
 fn main() {
-    let trials = arg_u64("--trials", 100) as u32;
+    telemetry_init();
+    let trials = match std::env::args().any(|a| a == "--duration") {
+        // Each trial spans a 2 s attach window plus 1 s of detach settle.
+        true => (arg_u64("--duration", 30) / 3).max(1) as u32,
+        false => arg_u64("--trials", 100) as u32,
+    };
     let seed = arg_u64("--seed", 42);
     eprintln!("fig7: {trials} attach trials per cell (seed {seed})...");
     let rows = fig7_table(trials, seed);
@@ -45,6 +65,38 @@ fn main() {
             bl.placement, -saving
         );
     }
+
+    // Percentile view, printed from the same telemetry snapshot that
+    // `results/fig7.metrics.json` serializes.
+    // Registration creates (empty) histogram entries even when recording
+    // is disabled, so gate on enablement, not snapshot emptiness.
+    let snap = cellbricks_telemetry::global().snapshot();
+    if cellbricks_telemetry::is_enabled() {
+        println!();
+        println!("Attach latency percentiles (ms, from telemetry histograms)");
+        println!("{}", rule(60));
+        println!(
+            "{:<11} {:<4} {:>9} {:>9} {:>9}",
+            "placement", "arch", "p50", "p95", "p99"
+        );
+        println!("{}", rule(60));
+        for row in &rows {
+            let key = format!("fig7.{}.{}.total_ns", row.placement, row.variant);
+            let Some(h) = snap.histograms.get(&key).filter(|h| h.count > 0) else {
+                continue;
+            };
+            println!(
+                "{:<11} {:<4} {:>9.2} {:>9.2} {:>9.2}",
+                row.placement,
+                row.variant,
+                ms(h.p50),
+                ms(h.p95),
+                ms(h.p99)
+            );
+        }
+        println!("{}", rule(60));
+    }
     println!();
     println!("paper reference: us-west BL 36.85 / CB 31.68; us-east BL 166.48 / CB 98.62");
+    telemetry_finish("fig7");
 }

@@ -29,6 +29,7 @@ fn series(arch: Arch, seed: u64) -> Vec<f64> {
 }
 
 fn main() {
+    cellbricks_bench::telemetry_init();
     let seed = arg_u64("--seed", 42);
     eprintln!("fig8: 50 s day iperf with a handover at t=23 s (seed {seed})...");
     let mno = series(Arch::Mno, seed);
@@ -65,4 +66,5 @@ fn main() {
         "CB peak in the 6 s after: {cb_peak_after:.2} Mbps vs MNO steady {mno_steady:.2} Mbps \
          (paper: brief overshoot above the TCP line)"
     );
+    cellbricks_bench::telemetry_finish("fig8");
 }

@@ -39,6 +39,7 @@ fn run_arm(
 }
 
 fn main() {
+    cellbricks_bench::telemetry_init();
     let seed = arg_u64("--seed", 42);
     let n_handovers = arg_u64("--handovers", 8) as usize;
     let handovers: Vec<f64> = (1..=n_handovers).map(|i| (i * 30) as f64).collect();
@@ -80,4 +81,5 @@ fn main() {
         "paper reference: mod. variants overshoot (110–130%) early and converge to 100%;\n\
          lower attach latency is uniformly better; unmod. (500 ms wait) starts lowest"
     );
+    cellbricks_bench::telemetry_finish("fig9");
 }

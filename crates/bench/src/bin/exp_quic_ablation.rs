@@ -37,6 +37,7 @@ fn base_cfg(handovers: &[f64], duration_s: u64, seed: u64) -> EmulationConfig {
 }
 
 fn main() {
+    cellbricks_bench::telemetry_init();
     let seed = arg_u64("--seed", 42);
     let n = arg_u64("--handovers", 10) as usize;
     let handovers: Vec<f64> = (1..=n).map(|i| (i * 30) as f64).collect();
@@ -105,4 +106,5 @@ fn main() {
          join handshake — recovery right after the handover is at least as fast\n\
          as the modified (no-wait) MPTCP, without patching the transport."
     );
+    cellbricks_bench::telemetry_finish("quic_ablation");
 }

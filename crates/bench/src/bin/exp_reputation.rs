@@ -130,6 +130,7 @@ fn detect_cycles(overcount: f64, epsilon: f64, cycles: u32, seed: u64) -> Option
 }
 
 fn main() {
+    cellbricks_bench::telemetry_init();
     println!("Reputation ablation — cycles until a cheating bTelco is refused");
     println!("(30 s reporting cycles; UE reports truthfully; threshold per Fig. 5)");
     println!("{}", "-".repeat(64));
@@ -154,4 +155,5 @@ fn main() {
          large inflation is caught in a handful of cycles — the degree-weighted\n\
          score drops faster for bigger lies (paper §4.3's intended incentive)."
     );
+    cellbricks_bench::telemetry_finish("reputation");
 }

@@ -171,6 +171,7 @@ fn run_scale(n: usize, seed: u64) -> ScaleResult {
 }
 
 fn main() {
+    cellbricks_bench::telemetry_init();
     let seed = cellbricks_bench::arg_u64("--seed", 42);
     println!("Scale — N UEs attaching simultaneously through one bTelco + broker");
     println!("{}", "-".repeat(72));
@@ -195,4 +196,5 @@ fn main() {
          bottleneck, exactly the architecture's intent (paper §3: brokers\n\
          need no cellular infrastructure and shard like any online service)."
     );
+    cellbricks_bench::telemetry_finish("scale");
 }

@@ -41,6 +41,7 @@ fn run_arch(route: RouteKind, tod: TimeOfDay, arch: Arch, duration: u64, seed: u
 }
 
 fn main() {
+    cellbricks_bench::telemetry_init();
     let duration = arg_secs("--duration", 600);
     let seed = arg_u64("--seed", 42);
     println!(
@@ -99,4 +100,5 @@ fn main() {
         );
     }
     println!("paper reference: overall slowdown −1.61% … +3.06% across metrics");
+    cellbricks_bench::telemetry_finish("table1");
 }

@@ -43,6 +43,44 @@ pub fn rule(width: usize) -> String {
     "-".repeat(width)
 }
 
+/// Switch the global telemetry registry on for an experiment binary.
+///
+/// Every `exp_*` binary calls this first: recording is enabled unless the
+/// environment sets `CELLBRICKS_TELEMETRY=off` (the knob used to measure
+/// the instrumentation's disabled-mode overhead). Returns whether
+/// recording is on.
+pub fn telemetry_init() -> bool {
+    let off = std::env::var("CELLBRICKS_TELEMETRY")
+        .map(|v| v.eq_ignore_ascii_case("off") || v == "0")
+        .unwrap_or(false);
+    if !off {
+        cellbricks_telemetry::enable();
+    }
+    cellbricks_telemetry::is_enabled()
+}
+
+/// Export the experiment's telemetry: `results/<exp>.metrics.json` (flat
+/// counters/gauges/histogram summaries) and `results/<exp>.trace.json`
+/// (chrome://tracing). No-op when recording is disabled. Paths may be
+/// redirected with `CELLBRICKS_RESULTS_DIR`.
+pub fn telemetry_finish(exp: &str) {
+    if !cellbricks_telemetry::is_enabled() {
+        return;
+    }
+    let dir = std::env::var("CELLBRICKS_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let reg = cellbricks_telemetry::global();
+    let metrics = format!("{dir}/{exp}.metrics.json");
+    let trace = format!("{dir}/{exp}.trace.json");
+    match reg.write_metrics_json(&metrics) {
+        Ok(()) => eprintln!("{exp}: wrote {metrics}"),
+        Err(e) => eprintln!("{exp}: failed to write {metrics}: {e}"),
+    }
+    match reg.write_chrome_trace(&trace) {
+        Ok(()) => eprintln!("{exp}: wrote {trace}"),
+        Err(e) => eprintln!("{exp}: failed to write {trace}: {e}"),
+    }
+}
+
 /// One fully-specified Table 1 cell runner.
 #[must_use]
 pub fn table1_cell(

@@ -28,6 +28,7 @@ use cellbricks_epc::subscriber_db::SubscriberDb;
 use cellbricks_epc::ue_nas::{UeNas, UeNasConfig};
 use cellbricks_net::{run_between, LinkConfig, NetWorld, Topology};
 use cellbricks_sim::{SimDuration, SimRng, SimTime};
+use cellbricks_telemetry as telemetry;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -115,6 +116,53 @@ pub struct Fig7Row {
     pub trials: u32,
 }
 
+/// Telemetry handles for one Fig. 7 cell: per-phase attach-latency
+/// histograms named `fig7.<placement>.<variant>.<phase>_ns`, recorded
+/// once per trial so the exported percentiles mirror the figure's
+/// breakdown (UE / eNB / AGW+cloud / total).
+struct CellHists {
+    total: telemetry::Histogram,
+    ue: telemetry::Histogram,
+    enb: telemetry::Histogram,
+    agw_cloud: telemetry::Histogram,
+    track: u32,
+}
+
+impl CellHists {
+    fn register(placement: &str, variant: &str, track: u32) -> Self {
+        let name = |phase: &str| format!("fig7.{placement}.{variant}.{phase}_ns");
+        Self {
+            total: telemetry::histogram(name("total")),
+            ue: telemetry::histogram(name("ue_proc")),
+            enb: telemetry::histogram(name("enb_proc")),
+            agw_cloud: telemetry::histogram(name("agw_cloud_proc")),
+            track,
+        }
+    }
+
+    fn record_trial(
+        &self,
+        started: SimTime,
+        total: SimDuration,
+        ue: SimDuration,
+        enb: SimDuration,
+        agw_cloud: SimDuration,
+        label: &str,
+    ) {
+        self.total.record(total.as_nanos());
+        self.ue.record(ue.as_nanos());
+        self.enb.record(enb.as_nanos());
+        self.agw_cloud.record(agw_cloud.as_nanos());
+        telemetry::trace_span(
+            format!("attach.{label}"),
+            "fig7",
+            started.as_nanos(),
+            (started + total).as_nanos(),
+            self.track,
+        );
+    }
+}
+
 const UE_SIG: Ipv4Addr = Ipv4Addr::new(169, 254, 0, 1);
 const AGW_SIG: Ipv4Addr = Ipv4Addr::new(172, 16, 1, 1);
 const CLOUD_IP: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 1);
@@ -184,6 +232,8 @@ pub fn run_baseline(
     let mut ue_proc = SimDuration::ZERO;
     let mut enb_proc = SimDuration::ZERO;
     let mut agw_cloud_proc = SimDuration::ZERO;
+    let hists = CellHists::register(placement.name, "BL", 0);
+    let cell = format!("BL.{}", placement.name);
     for i in 0..trials {
         let snap = (
             ue.proc_time,
@@ -200,9 +250,15 @@ pub fn run_baseline(
             until,
         );
         assert!(ue.is_attached(), "baseline attach {i} failed");
-        ue_proc = ue_proc + (ue.proc_time - snap.0);
-        enb_proc = enb_proc + (enb.control_proc_time - snap.1);
-        agw_cloud_proc = agw_cloud_proc + (agw.proc_time - snap.2) + (sdb.proc_time - snap.3);
+        let d_ue = ue.proc_time - snap.0;
+        let d_enb = enb.control_proc_time - snap.1;
+        let d_cloud = (agw.proc_time - snap.2) + (sdb.proc_time - snap.3);
+        ue_proc = ue_proc + d_ue;
+        enb_proc = enb_proc + d_enb;
+        agw_cloud_proc = agw_cloud_proc + d_cloud;
+        if let Some(total) = ue.last_attach_latency {
+            hists.record_trial(cursor, total, d_ue, d_enb, d_cloud, &cell);
+        }
         ue.start_detach(until);
         cursor = until + SimDuration::from_secs(1);
         run_between(
@@ -310,6 +366,8 @@ pub fn run_cellbricks(
     let mut ue_proc = SimDuration::ZERO;
     let mut enb_proc = SimDuration::ZERO;
     let mut agw_cloud_proc = SimDuration::ZERO;
+    let hists = CellHists::register(placement.name, "CB", 1);
+    let cell = format!("CB.{}", placement.name);
     for i in 0..trials {
         let snap = (
             ue.proc_time,
@@ -332,9 +390,15 @@ pub fn run_cellbricks(
             t = next;
         }
         assert!(ue.is_attached(), "cellbricks attach {i} failed");
-        ue_proc = ue_proc + (ue.proc_time - snap.0);
-        enb_proc = enb_proc + (enb.control_proc_time - snap.1);
-        agw_cloud_proc = agw_cloud_proc + (telco.proc_time - snap.2) + (brokerd.proc_time - snap.3);
+        let d_ue = ue.proc_time - snap.0;
+        let d_enb = enb.control_proc_time - snap.1;
+        let d_cloud = (telco.proc_time - snap.2) + (brokerd.proc_time - snap.3);
+        ue_proc = ue_proc + d_ue;
+        enb_proc = enb_proc + d_enb;
+        agw_cloud_proc = agw_cloud_proc + d_cloud;
+        if let Some(total) = ue.last_attach_latency {
+            hists.record_trial(cursor, total, d_ue, d_enb, d_cloud, &cell);
+        }
         run_between(
             &mut world,
             &mut [&mut ue, &mut enb, &mut telco, &mut brokerd],

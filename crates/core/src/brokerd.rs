@@ -17,6 +17,7 @@ use cellbricks_crypto::x25519::X25519PublicKey;
 use cellbricks_epc::wire::{Reader, Writer};
 use cellbricks_net::{Endpoint, NodeId, Packet, PacketKind};
 use cellbricks_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use cellbricks_telemetry as telemetry;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
@@ -265,6 +266,7 @@ impl Brokerd {
     fn handle_auth(&mut self, now: SimTime, src: Ipv4Addr, req_id: u64, req_t: &[u8]) {
         let Some(req) = AuthReqT::decode(req_t) else {
             self.auth_err += 1;
+            telemetry::counter("core.brokerd.auth_rejected").inc();
             self.send_later(now, src, BrokerWire::AuthErr { req_id, code: 0 });
             return;
         };
@@ -294,6 +296,7 @@ impl Brokerd {
                 // Replay protection: each authVec nonce authorizes once.
                 if !self.seen_nonces.insert(vec.nonce) {
                     self.auth_err += 1;
+                    telemetry::counter("core.brokerd.auth_rejected").inc();
                     self.send_later(
                         now,
                         src,
@@ -306,6 +309,8 @@ impl Brokerd {
                 }
                 self.next_session += 1;
                 self.auth_ok += 1;
+                telemetry::counter("core.brokerd.auth_granted").inc();
+                telemetry::trace_instant("brokerd.auth_ok", "billing", now.as_nanos());
                 self.sessions.insert(
                     session_id,
                     Session {
@@ -329,6 +334,7 @@ impl Brokerd {
             }
             Err(e) => {
                 self.auth_err += 1;
+                telemetry::counter("core.brokerd.auth_rejected").inc();
                 self.send_later(
                     now,
                     src,
@@ -342,8 +348,10 @@ impl Brokerd {
     }
 
     fn handle_report(&mut self, session_id: u64, from_ue: bool, sealed: &[u8]) {
+        let claims_rejected = telemetry::counter("core.billing.claims_rejected");
         let Some(session) = self.sessions.get_mut(&session_id) else {
             self.bad_reports += 1;
+            claims_rejected.inc();
             return;
         };
         let reporter_pk = if from_ue {
@@ -351,6 +359,7 @@ impl Brokerd {
                 Some(rec) => rec.sign_pk,
                 None => {
                     self.bad_reports += 1;
+                    claims_rejected.inc();
                     return;
                 }
             }
@@ -361,6 +370,7 @@ impl Brokerd {
             TrafficReport::open_and_verify(sealed, &self.cfg.keys.encrypt, &reporter_pk)
         else {
             self.bad_reports += 1;
+            claims_rejected.inc();
             if from_ue {
                 // A UE submitting unverifiable reports goes on the
                 // suspect list (paper §4.3).
@@ -370,9 +380,11 @@ impl Brokerd {
         };
         if report.session_id != session_id {
             self.bad_reports += 1;
+            claims_rejected.inc();
             return;
         }
         let seq = report.seq;
+        telemetry::counter("core.billing.claims_issued").inc();
         if from_ue {
             session.pending_ue.insert(seq, report);
         } else {
@@ -386,10 +398,12 @@ impl Brokerd {
             let verdict = verify_cycle(ue_r, t_r, self.cfg.epsilon);
             match verdict {
                 CycleVerdict::Consistent => {
+                    telemetry::counter("core.billing.claims_verified").inc();
                     session.settled_dl += t_r.dl_bytes;
                     session.settled_ul += t_r.ul_bytes;
                 }
                 CycleVerdict::Mismatch { .. } => {
+                    telemetry::counter("core.billing.claims_mismatched").inc();
                     // Settle conservatively at the UE's figure; the
                     // mismatch feeds the telco's reputation.
                     session.settled_dl += ue_r.dl_bytes;

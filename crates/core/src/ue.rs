@@ -17,6 +17,7 @@ use cellbricks_crypto::x25519::X25519PublicKey;
 use cellbricks_epc::nas::NasMessage;
 use cellbricks_net::{Endpoint, NodeId, Packet, PacketKind};
 use cellbricks_sim::{EventQueue, SimDuration, SimRng, SimTime, Summary};
+use cellbricks_telemetry as telemetry;
 use cellbricks_transport::Host;
 use std::net::Ipv4Addr;
 
@@ -86,6 +87,8 @@ pub struct UeDevice {
     attach_deadline: Option<SimTime>,
     /// Attach latency samples, milliseconds.
     pub attach_latency_ms: Summary,
+    /// Latency of the most recent successful attach.
+    pub last_attach_latency: Option<SimDuration>,
     /// Attach failures.
     pub failures: u64,
     /// Successful attaches.
@@ -113,6 +116,7 @@ impl UeDevice {
             next_report_at: None,
             attach_deadline: None,
             attach_latency_ms: Summary::new(),
+            last_attach_latency: None,
             failures: 0,
             attaches: 0,
             proc_time: SimDuration::ZERO,
@@ -243,8 +247,17 @@ impl UeDevice {
         ) {
             Ok(body) => {
                 self.attach_deadline = None;
-                self.attach_latency_ms
-                    .record(now.since(pending.started).as_millis_f64());
+                let latency = now.since(pending.started);
+                self.last_attach_latency = Some(latency);
+                self.attach_latency_ms.record(latency.as_millis_f64());
+                telemetry::histogram("core.sap.attach_latency_ns").record(latency.as_nanos());
+                telemetry::trace_span(
+                    "sap.attach",
+                    "sap",
+                    pending.started.as_nanos(),
+                    now.as_nanos(),
+                    1,
+                );
                 self.attaches += 1;
                 self.serving = Some(Serving {
                     agw_sig: pending.agw_sig,

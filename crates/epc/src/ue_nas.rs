@@ -10,6 +10,7 @@ use crate::aka::{derive_nas_int_key, nas_mac, ue_respond, SharedKey};
 use crate::nas::NasMessage;
 use cellbricks_net::{Endpoint, NodeId, Packet, PacketKind};
 use cellbricks_sim::{EventQueue, SimDuration, SimTime, Summary};
+use cellbricks_telemetry as telemetry;
 use std::net::Ipv4Addr;
 
 /// UE NAS configuration.
@@ -48,6 +49,8 @@ pub struct UeNas {
     pending: EventQueue<Packet>,
     /// Attach latency samples (milliseconds).
     pub attach_latency_ms: Summary,
+    /// Latency of the most recent successful attach.
+    pub last_attach_latency: Option<SimDuration>,
     /// Accumulated UE processing time (Fig. 7 accounting).
     pub proc_time: SimDuration,
     /// Attach failures observed.
@@ -67,6 +70,7 @@ impl UeNas {
             attach_started: None,
             pending: EventQueue::new(),
             attach_latency_ms: Summary::new(),
+            last_attach_latency: None,
             proc_time: SimDuration::ZERO,
             failures: 0,
         }
@@ -176,8 +180,17 @@ impl Endpoint for UeNas {
                 self.state = State::Attached;
                 self.ue_ip = Some(ue_ip);
                 if let Some(started) = self.attach_started.take() {
-                    self.attach_latency_ms
-                        .record(now.since(started).as_millis_f64());
+                    let latency = now.since(started);
+                    self.last_attach_latency = Some(latency);
+                    self.attach_latency_ms.record(latency.as_millis_f64());
+                    telemetry::histogram("epc.nas.attach_latency_ns").record(latency.as_nanos());
+                    telemetry::trace_span(
+                        "nas.attach",
+                        "nas",
+                        started.as_nanos(),
+                        now.as_nanos(),
+                        0,
+                    );
                 }
                 // The completion ACK is post-measurement signalling: it is
                 // still delayed by the UE's processing time but not billed

@@ -182,6 +182,22 @@ pub(crate) struct Direction {
     /// Counters.
     pub(crate) delivered: u64,
     pub(crate) dropped: u64,
+    /// Packets the token-bucket shaper held back (served later than
+    /// offered): the carrier policer biting.
+    pub(crate) policer_hits: u64,
+}
+
+/// Why a link direction refused a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DropCause {
+    /// The link was in a radio outage window.
+    Outage,
+    /// Random loss.
+    Loss,
+    /// Sojourn would exceed the drop-tail queue cap.
+    QueueCap,
+    /// The shaper can never serve the packet (zero rate).
+    Policer,
 }
 
 /// Result of offering a packet to a link direction.
@@ -189,8 +205,8 @@ pub(crate) struct Direction {
 pub(crate) enum Offer {
     /// The packet will arrive at the far end at this instant.
     Deliver(SimTime),
-    /// The packet was dropped (queue overflow, loss or outage).
-    Drop,
+    /// The packet was dropped.
+    Drop(DropCause),
 }
 
 impl Direction {
@@ -207,6 +223,7 @@ impl Direction {
             outage_until: SimTime::ZERO,
             delivered: 0,
             dropped: 0,
+            policer_hits: 0,
         }
     }
 
@@ -215,11 +232,11 @@ impl Direction {
     pub(crate) fn offer(&mut self, now: SimTime, size: u32, loss_draw: f64) -> Offer {
         if now < self.outage_until {
             self.dropped += 1;
-            return Offer::Drop;
+            return Offer::Drop(DropCause::Outage);
         }
         if loss_draw < self.config.loss {
             self.dropped += 1;
-            return Offer::Drop;
+            return Offer::Drop(DropCause::Loss);
         }
         let start = self.busy_until.max(now);
         // Compute the service-completion time without committing any
@@ -229,7 +246,7 @@ impl Direction {
             Shaper::FixedRate(rate) => {
                 if *rate <= 0.0 {
                     self.dropped += 1;
-                    return Offer::Drop;
+                    return Offer::Drop(DropCause::Policer);
                 }
                 (
                     start + SimDuration::from_secs_f64(f64::from(size) * 8.0 / rate),
@@ -251,14 +268,17 @@ impl Direction {
                 };
                 if eligible == SimTime::FAR_FUTURE {
                     self.dropped += 1;
-                    return Offer::Drop;
+                    return Offer::Drop(DropCause::Policer);
+                }
+                if eligible > start {
+                    self.policer_hits += 1;
                 }
                 (eligible, Some((new_level, eligible)))
             }
         };
         if done.saturating_since(now) > self.config.queue_cap {
             self.dropped += 1;
-            return Offer::Drop;
+            return Offer::Drop(DropCause::QueueCap);
         }
         if let Some((level, at)) = bucket_commit {
             self.bucket_level = level;
@@ -328,7 +348,7 @@ mod tests {
         let mut d = Direction::new(LinkConfig::delay_only(ms(10)));
         match d.offer(SimTime::from_secs(1), 1500, 0.9) {
             Offer::Deliver(t) => assert_eq!(t, SimTime::from_secs(1) + ms(10)),
-            Offer::Drop => panic!("dropped"),
+            Offer::Drop(_) => panic!("dropped"),
         }
     }
 
@@ -359,14 +379,20 @@ mod tests {
             Offer::Deliver(_)
         ));
         // Second packet would wait 1s then serialize 1s -> sojourn 2s > cap.
-        assert_eq!(d.offer(SimTime::ZERO, 1000, 0.9), Offer::Drop);
+        assert_eq!(
+            d.offer(SimTime::ZERO, 1000, 0.9),
+            Offer::Drop(DropCause::QueueCap)
+        );
         assert_eq!(d.dropped, 1);
     }
 
     #[test]
     fn loss_draw_applies() {
         let mut d = Direction::new(LinkConfig::delay_only(ms(1)).with_loss(0.5));
-        assert_eq!(d.offer(SimTime::ZERO, 100, 0.4), Offer::Drop);
+        assert_eq!(
+            d.offer(SimTime::ZERO, 100, 0.4),
+            Offer::Drop(DropCause::Loss)
+        );
         assert!(matches!(
             d.offer(SimTime::ZERO, 100, 0.6),
             Offer::Deliver(_)
@@ -377,7 +403,10 @@ mod tests {
     fn outage_drops_until() {
         let mut d = Direction::new(LinkConfig::delay_only(ms(1)));
         d.outage_until = SimTime::from_secs(5);
-        assert_eq!(d.offer(SimTime::from_secs(4), 100, 0.9), Offer::Drop);
+        assert_eq!(
+            d.offer(SimTime::from_secs(4), 100, 0.9),
+            Offer::Drop(DropCause::Outage)
+        );
         assert!(matches!(
             d.offer(SimTime::from_secs(5), 100, 0.9),
             Offer::Deliver(_)
@@ -504,7 +533,7 @@ mod proptests {
                         let err = (at.as_secs_f64() - expected).abs();
                         prop_assert!(err < 1e-6, "at {at}, expected {expected}");
                     }
-                    Offer::Drop => prop_assert!(false, "no drops expected"),
+                    Offer::Drop(_) => prop_assert!(false, "no drops expected"),
                 }
             }
         }

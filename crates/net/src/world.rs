@@ -6,10 +6,11 @@
 //! Protocol logic lives in [`Endpoint`] implementations — hosts, routers,
 //! gateways — driven by [`run_until`].
 
-use crate::link::Offer;
-use crate::packet::Packet;
+use crate::link::{DropCause, Offer};
+use crate::packet::{Packet, PacketKind};
 use crate::topology::{LinkId, NodeId, Topology};
 use cellbricks_sim::{EventQueue, SimRng, SimTime};
+use cellbricks_telemetry as telemetry;
 use std::collections::HashMap;
 
 /// A protocol participant attached to a topology node.
@@ -46,6 +47,42 @@ pub struct LinkStats {
     pub ba_delivered: u64,
     /// Packets dropped b→a.
     pub ba_dropped: u64,
+    /// Packets the a→b token-bucket policer delayed.
+    pub ab_policer_hits: u64,
+    /// Packets the b→a token-bucket policer delayed.
+    pub ba_policer_hits: u64,
+}
+
+/// Telemetry handles for the packet-moving hot path, registered once per
+/// [`NetWorld`] so `send` pays one relaxed atomic load when disabled.
+struct WorldMetrics {
+    sent: telemetry::Counter,
+    delivered: telemetry::Counter,
+    delivered_bytes: telemetry::Counter,
+    no_route: telemetry::Counter,
+    drop_outage: telemetry::Counter,
+    drop_loss: telemetry::Counter,
+    drop_queue_cap: telemetry::Counter,
+    drop_policer: telemetry::Counter,
+    policer_hits: telemetry::Counter,
+    in_flight: telemetry::Gauge,
+}
+
+impl WorldMetrics {
+    fn register() -> Self {
+        Self {
+            sent: telemetry::counter("net.world.packets_sent"),
+            delivered: telemetry::counter("net.link.delivered"),
+            delivered_bytes: telemetry::counter("net.link.delivered_bytes"),
+            no_route: telemetry::counter("net.world.no_route_drops"),
+            drop_outage: telemetry::counter("net.link.drops.outage"),
+            drop_loss: telemetry::counter("net.link.drops.loss"),
+            drop_queue_cap: telemetry::counter("net.link.drops.queue_cap"),
+            drop_policer: telemetry::counter("net.link.drops.policer"),
+            policer_hits: telemetry::counter("net.link.policer_hits"),
+            in_flight: telemetry::gauge("net.world.packets_in_flight"),
+        }
+    }
 }
 
 /// The network: topology plus in-flight packets.
@@ -55,6 +92,7 @@ pub struct NetWorld {
     rng: SimRng,
     /// Packets dropped because no route matched.
     pub no_route_drops: u64,
+    metrics: WorldMetrics,
 }
 
 impl NetWorld {
@@ -66,6 +104,7 @@ impl NetWorld {
             arrivals: EventQueue::new(),
             rng,
             no_route_drops: 0,
+            metrics: WorldMetrics::register(),
         }
     }
 
@@ -82,8 +121,10 @@ impl NetWorld {
 
     /// Send `pkt` from `from`: routes one hop and schedules the arrival.
     pub fn send(&mut self, now: SimTime, from: NodeId, pkt: Packet) {
+        self.metrics.sent.inc();
         let Some(link) = self.topology.route(from, pkt.dst) else {
             self.no_route_drops += 1;
+            self.metrics.no_route.inc();
             return;
         };
         let peer = self.topology.peer(link, from);
@@ -91,9 +132,27 @@ impl NetWorld {
         let draw = self.rng.unit();
         let l = &mut self.topology.links[link.0];
         let dir = if l.a == from { &mut l.ab } else { &mut l.ba };
-        match dir.offer(now, size, draw) {
-            Offer::Deliver(at) => self.arrivals.push(at, Arrival { node: peer, pkt }),
-            Offer::Drop => {}
+        let policer_before = dir.policer_hits;
+        let offer = dir.offer(now, size, draw);
+        if dir.policer_hits != policer_before {
+            self.metrics.policer_hits.inc();
+        }
+        match offer {
+            Offer::Deliver(at) => {
+                self.metrics.delivered.inc();
+                self.metrics.delivered_bytes.add(u64::from(size));
+                self.arrivals.push(at, Arrival { node: peer, pkt });
+                self.metrics.in_flight.set(self.arrivals.len() as i64);
+            }
+            Offer::Drop(cause) => {
+                match cause {
+                    DropCause::Outage => self.metrics.drop_outage.inc(),
+                    DropCause::Loss => self.metrics.drop_loss.inc(),
+                    DropCause::QueueCap => self.metrics.drop_queue_cap.inc(),
+                    DropCause::Policer => self.metrics.drop_policer.inc(),
+                }
+                telemetry::trace_instant("net.drop", "net", now.as_nanos());
+            }
         }
     }
 
@@ -108,6 +167,9 @@ impl NetWorld {
         let mut out = Vec::new();
         while let Some((at, arrival)) = self.arrivals.pop_due(now) {
             out.push((at, arrival.node, arrival.pkt));
+        }
+        if !out.is_empty() {
+            self.metrics.in_flight.set(self.arrivals.len() as i64);
         }
         out
     }
@@ -129,6 +191,8 @@ impl NetWorld {
             ab_dropped: l.ab.dropped,
             ba_delivered: l.ba.delivered,
             ba_dropped: l.ba.dropped,
+            ab_policer_hits: l.ab.policer_hits,
+            ba_policer_hits: l.ba.policer_hits,
         }
     }
 }
@@ -174,6 +238,17 @@ pub fn run_between(
     let mut last = from;
     let mut same_instant_iters = 0u64;
 
+    // Scheduler telemetry: handles are registered once per drive; the
+    // wall-clock service timers only run when telemetry is enabled so the
+    // disabled path costs one atomic load per dispatched event.
+    let ev_arrival = telemetry::counter("sim.scheduler.events.arrival");
+    let ev_poll = telemetry::counter("sim.scheduler.events.poll");
+    let svc_tcp = telemetry::histogram("sim.scheduler.service_ns.tcp");
+    let svc_udp = telemetry::histogram("sim.scheduler.service_ns.udp");
+    let svc_control = telemetry::histogram("sim.scheduler.service_ns.control");
+    let svc_poll = telemetry::histogram("sim.scheduler.service_ns.poll");
+    let q_depth = telemetry::gauge("sim.scheduler.ready_events");
+
     loop {
         let next_net = world.next_arrival_at();
         let next_poll = endpoints.iter().filter_map(|e| e.poll_at()).min();
@@ -197,9 +272,24 @@ pub fn run_between(
             last = now;
         }
 
-        for (_at, node, pkt) in world.take_arrivals(now) {
+        let timed = telemetry::is_enabled();
+        let arrivals = world.take_arrivals(now);
+        if timed && !arrivals.is_empty() {
+            q_depth.set(arrivals.len() as i64);
+        }
+        for (_at, node, pkt) in arrivals {
             if let Some(&i) = node_map.get(&node) {
+                ev_arrival.inc();
+                let svc = match &pkt.kind {
+                    PacketKind::Tcp(_) => &svc_tcp,
+                    PacketKind::Udp { .. } => &svc_udp,
+                    PacketKind::Control(_) => &svc_control,
+                };
+                let t0 = timed.then(std::time::Instant::now);
                 endpoints[i].handle_packet(now, pkt, &mut out);
+                if let Some(t0) = t0 {
+                    svc.record(t0.elapsed().as_nanos() as u64);
+                }
                 let from = endpoints[i].node();
                 for p in out.drain(..) {
                     world.send(now, from, p);
@@ -211,7 +301,12 @@ pub fn run_between(
 
         for e in endpoints.iter_mut() {
             if e.poll_at().is_some_and(|t| t <= now) {
+                ev_poll.inc();
+                let t0 = timed.then(std::time::Instant::now);
                 e.poll(now, &mut out);
+                if let Some(t0) = t0 {
+                    svc_poll.record(t0.elapsed().as_nanos() as u64);
+                }
                 let from = e.node();
                 for p in out.drain(..) {
                     world.send(now, from, p);

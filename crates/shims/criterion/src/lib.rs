@@ -1,0 +1,188 @@
+//! Offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate: enough of
+//! the API (`Criterion`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!`, `black_box`) to run this workspace's
+//! microbenchmarks without crates.io access (see
+//! `crates/shims/README.md`).
+//!
+//! Measurement is simple wall-clock sampling — per-sample means with
+//! min/median/max over the samples — with none of upstream's outlier
+//! analysis or HTML reports. Good enough to eyeball hot-path regressions
+//! locally; the first-class measurement path in this repo is the
+//! `cellbricks-telemetry` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark runner configuration and registry.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples collected per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the target measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark, printing a single summary line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Calibrate: grow the per-sample iteration count until one
+        // sample takes a measurable slice of the budget.
+        let per_sample = self.measurement / self.sample_size as u32;
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= per_sample || b.iters >= 1 << 30 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                let need = per_sample.as_nanos() / b.elapsed.as_nanos().max(1);
+                u64::try_from(need.clamp(2, 16)).unwrap_or(2)
+            };
+            b.iters = b.iters.saturating_mul(grow);
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = samples_ns[0];
+        let med = samples_ns[samples_ns.len() / 2];
+        let max = samples_ns[samples_ns.len() - 1];
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_ns(min),
+            fmt_ns(med),
+            fmt_ns(max),
+            self.sample_size,
+            b.iters,
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it the calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10));
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count = count.wrapping_add(1)));
+        assert!(count > 0);
+    }
+
+    criterion_group! {
+        name = group_long_form;
+        config = Criterion::default().sample_size(2);
+        targets = noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        c.measurement = Duration::from_millis(5);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        group_long_form();
+    }
+}

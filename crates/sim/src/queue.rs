@@ -205,5 +205,41 @@ mod proptests {
                 prop_assert!(t > now);
             }
         }
+
+        /// Determinism: two queues fed the same interleaved push/pop
+        /// schedule produce byte-identical pop sequences — the FIFO
+        /// tie-break depends only on insertion order, never on heap
+        /// internals or capacity history.
+        #[test]
+        fn prop_fifo_tiebreak_deterministic(
+            ops in proptest::collection::vec((0u64..8, any::<bool>()), 1..300),
+        ) {
+            let mut q1 = EventQueue::new();
+            // q2 sees extra capacity churn before the same schedule.
+            let mut q2 = EventQueue::new();
+            for i in 0..64 {
+                q2.push(SimTime::from_nanos(i), usize::MAX);
+            }
+            while q2.pop().is_some() {}
+
+            let mut out1 = Vec::new();
+            let mut out2 = Vec::new();
+            for (i, (t, do_pop)) in ops.iter().enumerate() {
+                if *do_pop {
+                    out1.push(q1.pop());
+                    out2.push(q2.pop());
+                } else {
+                    q1.push(SimTime::from_nanos(*t), i);
+                    q2.push(SimTime::from_nanos(*t), i);
+                }
+            }
+            while let Some(e) = q1.pop() {
+                out1.push(Some(e));
+            }
+            while let Some(e) = q2.pop() {
+                out2.push(Some(e));
+            }
+            prop_assert_eq!(out1, out2);
+        }
     }
 }

@@ -271,3 +271,70 @@ mod tests {
         );
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// `from_secs_f64` rounds to the nearest nanosecond and never
+        /// drifts by more than half a tick.
+        #[test]
+        fn prop_from_secs_f64_rounds_to_nearest(ns in 0u64..1_000_000_000_000) {
+            let d = SimDuration::from_secs_f64(ns as f64 / 1e9);
+            // f64 has 52 mantissa bits: below 2^52 ns the conversion is
+            // exact except for the final rounding step.
+            let err = d.as_nanos().abs_diff(ns);
+            prop_assert!(err <= 1, "{ns} ns roundtripped to {} ns", d.as_nanos());
+        }
+
+        /// Negative and NaN-free inputs saturate at zero, never panic.
+        #[test]
+        fn prop_from_secs_f64_saturates_negative(s in -1.0e12f64..0.0) {
+            prop_assert_eq!(SimDuration::from_secs_f64(s), SimDuration::ZERO);
+        }
+
+        /// Duration saturating_sub never underflows and agrees with
+        /// checked arithmetic when in range.
+        #[test]
+        fn prop_duration_saturating_sub(a in any::<u64>(), b in any::<u64>()) {
+            let d = SimDuration::from_nanos(a).saturating_sub(SimDuration::from_nanos(b));
+            prop_assert_eq!(d.as_nanos(), a.saturating_sub(b));
+        }
+
+        /// Instant + duration saturates at FAR_FUTURE instead of
+        /// wrapping, and ordering is preserved.
+        #[test]
+        fn prop_time_add_saturates(t in any::<u64>(), d in any::<u64>()) {
+            let sum = SimTime::from_nanos(t) + SimDuration::from_nanos(d);
+            prop_assert_eq!(sum.as_nanos(), t.saturating_add(d));
+            prop_assert!(sum >= SimTime::from_nanos(t));
+        }
+
+        /// `saturating_since` is `since` when causal and zero otherwise.
+        #[test]
+        fn prop_saturating_since(a in any::<u64>(), b in any::<u64>()) {
+            let (ta, tb) = (SimTime::from_nanos(a), SimTime::from_nanos(b));
+            let d = ta.saturating_since(tb);
+            if a >= b {
+                prop_assert_eq!(d, ta.since(tb));
+            } else {
+                prop_assert_eq!(d, SimDuration::ZERO);
+            }
+        }
+
+        /// (t + d1) + d2 == (t + d2) + d1 when no saturation occurs:
+        /// event scheduling is order-insensitive.
+        #[test]
+        fn prop_time_add_commutes(
+            t in 0u64..1_000_000_000_000,
+            d1 in 0u64..1_000_000_000_000,
+            d2 in 0u64..1_000_000_000_000,
+        ) {
+            let t = SimTime::from_nanos(t);
+            let (d1, d2) = (SimDuration::from_nanos(d1), SimDuration::from_nanos(d2));
+            prop_assert_eq!((t + d1) + d2, (t + d2) + d1);
+        }
+    }
+}

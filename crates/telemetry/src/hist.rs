@@ -1,0 +1,254 @@
+//! A fixed-precision log-linear histogram (HdrHistogram-style).
+//!
+//! Values in `[0, 2^SUB_BITS)` are counted exactly; above that, each
+//! power-of-two decade is split into `2^SUB_BITS` linear sub-buckets,
+//! bounding the relative quantization error of any recorded value to
+//! `2^-SUB_BITS` (< 0.8%) of its magnitude. Storage grows lazily to the
+//! highest bucket touched, so an idle histogram costs a few hundred
+//! bytes and a nanosecond-latency histogram spanning nine orders of
+//! magnitude stays under 32 KiB.
+
+/// Sub-bucket resolution: 2^7 = 128 linear buckets per decade.
+const SUB_BITS: u32 = 7;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// A log-linear histogram of `u64` samples.
+#[derive(Clone, Debug, Default)]
+pub struct LogLinearHist {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index for `v`. Exact below `SUB_COUNT`; log-linear above.
+fn index_of(v: u64) -> usize {
+    if v < SUB_COUNT {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64; // >= SUB_BITS
+    let decade = msb - u64::from(SUB_BITS); // >= 0
+    let sub = (v >> decade) - SUB_COUNT; // in [0, SUB_COUNT)
+    (SUB_COUNT + decade * SUB_COUNT + sub) as usize
+}
+
+/// Inclusive lower bound of bucket `idx` (inverse of [`index_of`]).
+fn lower_bound_of(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_COUNT {
+        return idx;
+    }
+    let decade = (idx - SUB_COUNT) / SUB_COUNT;
+    let sub = (idx - SUB_COUNT) % SUB_COUNT;
+    (SUB_COUNT + sub) << decade
+}
+
+/// Width of bucket `idx` (1 in the exact region).
+fn width_of(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_COUNT {
+        1
+    } else {
+        1 << ((idx - SUB_COUNT) / SUB_COUNT)
+    }
+}
+
+impl LogLinearHist {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = index_of(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 if empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 if empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the exact recorded values (0.0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the midpoint of the bucket
+    /// containing the `ceil(q * count)`-th sample, clamped to the exact
+    /// observed min/max. Accurate to within one bucket width.
+    #[must_use]
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                let mid = lower_bound_of(idx) + width_of(idx) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Forget all samples.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Non-empty buckets as `(lower_bound, width, count)`, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| (lower_bound_of(idx), width_of(idx), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip_brackets_value() {
+        for v in [0u64, 1, 5, 127, 128, 129, 1000, 65_535, 1 << 20, u64::MAX] {
+            let idx = index_of(v);
+            let lo = lower_bound_of(idx);
+            let w = width_of(idx);
+            assert!(lo <= v, "lower bound {lo} > value {v}");
+            assert!(
+                v - lo < w,
+                "value {v} outside bucket [{lo}, {lo}+{w}) at idx {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn indices_are_monotone() {
+        let mut prev = 0;
+        for v in (0..4096u64).chain((12..40).map(|e| (1u64 << e) + 17)) {
+            let idx = index_of(v);
+            assert!(idx >= prev, "index not monotone at {v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn exact_region_is_exact() {
+        let mut h = LogLinearHist::new();
+        for v in 0..SUB_COUNT {
+            h.record(v);
+        }
+        for (i, q) in [(0u64, 0.001), (63, 0.5), (127, 1.0)] {
+            assert_eq!(h.value_at_quantile(q), i, "q={q}");
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        // Any single recorded value is reported within one bucket width:
+        // relative error < 2^-SUB_BITS.
+        for v in [200u64, 999, 10_001, 123_456_789, 1 << 40] {
+            let mut h = LogLinearHist::new();
+            h.record(v);
+            let got = h.value_at_quantile(0.5);
+            let err = got.abs_diff(v) as f64 / v as f64;
+            assert!(err <= 1.0 / SUB_COUNT as f64, "v={v} got={got} err={err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = LogLinearHist::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.5, 5_000u64), (0.95, 9_500), (0.99, 9_900)] {
+            let got = h.value_at_quantile(q);
+            let err = got.abs_diff(expect) as f64 / expect as f64;
+            assert!(err < 0.01, "q={q} got={got} want~{expect}");
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        assert!((h.mean() - 5_000.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LogLinearHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.value_at_quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = LogLinearHist::new();
+        h.record(42);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.buckets().count(), 0);
+    }
+
+    #[test]
+    fn quantile_clamped_to_observed_range() {
+        let mut h = LogLinearHist::new();
+        h.record(1_000_003);
+        assert_eq!(h.value_at_quantile(0.0), 1_000_003);
+        assert!(h.value_at_quantile(1.0) <= h.max());
+        assert!(h.value_at_quantile(0.5) >= h.min());
+    }
+}

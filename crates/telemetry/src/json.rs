@@ -1,0 +1,190 @@
+//! A tiny hand-rolled JSON writer (no serde in this workspace).
+//!
+//! Only what the exporters need: objects with string keys, arrays,
+//! strings, integers, and finite floats. Keys are emitted in the order
+//! callers provide them; the exporters feed sorted maps so output is
+//! byte-stable across runs.
+
+/// Append a JSON string literal (with escaping) to `out`.
+pub fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a finite float. Non-finite values become `null` (JSON has no
+/// NaN/Inf); integral values print without a trailing `.0` ambiguity by
+/// using the shortest roundtrip representation Rust gives us.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// A minimal streaming writer for one JSON document.
+///
+/// Tracks whether a separator comma is needed at each nesting level;
+/// misuse (e.g. closing more scopes than were opened) panics in debug
+/// via underflow rather than emitting bad JSON silently.
+#[derive(Default)]
+pub struct JsonWriter {
+    out: String,
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(top) = self.need_comma.last_mut() {
+            if *top {
+                self.out.push(',');
+            }
+            *top = true;
+        }
+    }
+
+    /// Begin an object as the next value.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('{');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// End the innermost object.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Begin an array as the next value.
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('[');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// End the innermost array.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Emit `"key":` (must be inside an object; value must follow).
+    pub fn key(&mut self, key: &str) -> &mut Self {
+        self.pre_value();
+        push_str_lit(&mut self.out, key);
+        self.out.push(':');
+        // The upcoming value must not emit another comma.
+        if let Some(top) = self.need_comma.last_mut() {
+            *top = false;
+        }
+        self
+    }
+
+    /// Emit a string value.
+    pub fn str_value(&mut self, v: &str) -> &mut Self {
+        self.pre_value();
+        push_str_lit(&mut self.out, v);
+        self
+    }
+
+    /// Emit an unsigned integer value.
+    pub fn u64_value(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Emit a signed integer value.
+    pub fn i64_value(&mut self, v: i64) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Emit a float value (`null` if non-finite).
+    pub fn f64_value(&mut self, v: f64) -> &mut Self {
+        self.pre_value();
+        push_f64(&mut self.out, v);
+        self
+    }
+
+    /// Finish, returning the document.
+    #[must_use]
+    pub fn finish(self) -> String {
+        debug_assert!(self.need_comma.is_empty(), "unclosed JSON scope");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_with_mixed_values() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a").u64_value(1);
+        w.key("b").str_value("x\"y");
+        w.key("c").begin_array();
+        w.u64_value(1).u64_value(2);
+        w.end_array();
+        w.key("d").f64_value(1.5);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":"x\"y","c":[1,2],"d":1.5}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.f64_value(f64::NAN)
+            .f64_value(f64::INFINITY)
+            .f64_value(2.0);
+        w.end_array();
+        assert_eq!(w.finish(), "[null,null,2]");
+    }
+
+    #[test]
+    fn escaping_control_chars() {
+        let mut s = String::new();
+        push_str_lit(&mut s, "a\nb\t\u{1}");
+        assert_eq!(s, "\"a\\nb\\t\\u0001\"");
+    }
+
+    #[test]
+    fn nested_objects_comma_placement() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("o1").begin_object().end_object();
+        w.key("o2").begin_object();
+        w.key("x").i64_value(-3);
+        w.end_object();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"o1":{},"o2":{"x":-3}}"#);
+    }
+}

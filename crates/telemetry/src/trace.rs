@@ -1,0 +1,243 @@
+//! A bounded event-trace ring buffer with chrome://tracing JSON export.
+//!
+//! Events are stamped with **virtual** time (`SimTime` nanoseconds fed
+//! in by the instrumented layers), so a trace of a deterministic run is
+//! itself deterministic. When the buffer wraps, the oldest events are
+//! overwritten and a drop counter records how many were lost — tracing
+//! never allocates without bound and never aborts a run.
+
+use crate::json::JsonWriter;
+use parking_lot::Mutex;
+use std::borrow::Cow;
+
+/// Event flavour, mapping onto chrome://tracing phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A span with a duration (`ph: "X"`).
+    Complete,
+    /// A point event (`ph: "i"`).
+    Instant,
+}
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Virtual timestamp, nanoseconds since the experiment epoch.
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Event name (the chrome://tracing row label).
+    pub name: Cow<'static, str>,
+    /// Category tag, e.g. `"sap"` or `"tcp"` (filterable in the UI).
+    pub cat: &'static str,
+    /// Span or instant.
+    pub phase: TracePhase,
+    /// Logical track id (rendered as a thread lane).
+    pub track: u32,
+}
+
+struct Ring {
+    buf: Vec<TraceEvent>,
+    /// Index of the logical start once the buffer has wrapped.
+    head: usize,
+    wrapped: bool,
+    dropped: u64,
+}
+
+/// A fixed-capacity, wrapping trace buffer.
+pub struct TraceBuffer {
+    ring: Mutex<Ring>,
+    capacity: usize,
+}
+
+impl TraceBuffer {
+    /// A buffer holding at most `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: Mutex::new(Ring {
+                buf: Vec::new(),
+                head: 0,
+                wrapped: false,
+                dropped: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Append an event, overwriting the oldest if full.
+    pub fn push(&self, ev: TraceEvent) {
+        let mut r = self.ring.lock();
+        if r.buf.len() < self.capacity {
+            r.buf.push(ev);
+        } else {
+            let head = r.head;
+            r.buf[head] = ev;
+            r.head = (head + 1) % self.capacity;
+            r.wrapped = true;
+            r.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.lock().buf.len()
+    }
+
+    /// True if no events are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events overwritten because the buffer wrapped.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().dropped
+    }
+
+    /// The held events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let r = self.ring.lock();
+        let mut out = Vec::with_capacity(r.buf.len());
+        if r.wrapped {
+            out.extend_from_slice(&r.buf[r.head..]);
+            out.extend_from_slice(&r.buf[..r.head]);
+        } else {
+            out.extend_from_slice(&r.buf);
+        }
+        out
+    }
+
+    /// Forget everything, including the drop counter.
+    pub fn clear(&self) {
+        let mut r = self.ring.lock();
+        r.buf.clear();
+        r.head = 0;
+        r.wrapped = false;
+        r.dropped = 0;
+    }
+
+    /// Serialize as a chrome://tracing "Trace Event Format" document.
+    ///
+    /// Open `chrome://tracing` (or <https://ui.perfetto.dev>) and load
+    /// the file. Timestamps are virtual microseconds; each `track`
+    /// renders as its own lane under pid 0.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.events();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("displayTimeUnit").str_value("ms");
+        w.key("traceEvents").begin_array();
+        for ev in &events {
+            w.begin_object();
+            w.key("name").str_value(&ev.name);
+            w.key("cat").str_value(ev.cat);
+            w.key("ph").str_value(if ev.phase == TracePhase::Complete {
+                "X"
+            } else {
+                "i"
+            });
+            // chrome://tracing expects microseconds; keep sub-µs detail.
+            w.key("ts").f64_value(ev.ts_ns as f64 / 1_000.0);
+            if ev.phase == TracePhase::Complete {
+                w.key("dur").f64_value(ev.dur_ns as f64 / 1_000.0);
+            } else {
+                w.key("s").str_value("t");
+            }
+            w.key("pid").u64_value(0);
+            w.key("tid").u64_value(u64::from(ev.track));
+            w.end_object();
+        }
+        w.end_array();
+        w.key("droppedEvents").u64_value(self.dropped());
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, name: &'static str) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            dur_ns: 10,
+            name: Cow::Borrowed(name),
+            cat: "test",
+            phase: TracePhase::Complete,
+            track: 0,
+        }
+    }
+
+    #[test]
+    fn keeps_insertion_order() {
+        let t = TraceBuffer::new(8);
+        for i in 0..5 {
+            t.push(ev(i, "e"));
+        }
+        let names: Vec<u64> = t.events().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(names, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_and_counts_drops() {
+        let t = TraceBuffer::new(4);
+        for i in 0..10 {
+            t.push(ev(i, "e"));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        let ts: Vec<u64> = t.events().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9], "oldest-first after wrap");
+    }
+
+    #[test]
+    fn wraparound_exactly_at_capacity_boundary() {
+        let t = TraceBuffer::new(3);
+        for i in 0..6 {
+            t.push(ev(i, "e"));
+        }
+        // Wrapped exactly twice around: head back at 0.
+        let ts: Vec<u64> = t.events().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let t = TraceBuffer::new(4);
+        t.push(ev(1_500, "attach"));
+        t.push(TraceEvent {
+            ts_ns: 2_000,
+            dur_ns: 0,
+            name: Cow::Borrowed("drop"),
+            cat: "net",
+            phase: TracePhase::Instant,
+            track: 3,
+        });
+        let json = t.to_chrome_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""name":"attach""#));
+        assert!(json.contains(r#""ph":"X""#));
+        assert!(json.contains(r#""ph":"i""#));
+        assert!(json.contains(r#""ts":1.5"#));
+        assert!(json.contains(r#""tid":3"#));
+        assert!(json.contains(r#""droppedEvents":0"#));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let t = TraceBuffer::new(2);
+        for i in 0..5 {
+            t.push(ev(i, "e"));
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+}

@@ -19,6 +19,7 @@
 use crate::tcp::{Tcp, TcpConfig};
 use cellbricks_net::{EndpointAddr, MpSignal, Packet, TcpSegment};
 use cellbricks_sim::{SimDuration, SimTime};
+use cellbricks_telemetry as telemetry;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -161,6 +162,7 @@ impl MpConn {
     }
 
     fn push_subflow(&mut self, tcp: Tcp) -> usize {
+        telemetry::counter("transport.mptcp.subflows_created").inc();
         self.subflows.push(Subflow {
             tcp,
             alive: true,
@@ -261,6 +263,8 @@ impl MpConn {
         if self.dead {
             return;
         }
+        telemetry::counter("transport.mptcp.addr_invalidated").inc();
+        telemetry::trace_instant("mptcp.addr_invalidated", "mptcp", now.as_nanos());
         let old = self.local_addr.take();
         if let Some(old) = old {
             self.remove_addr_pending = Some(old);
@@ -293,6 +297,10 @@ impl MpConn {
     fn start_join(&mut self, now: SimTime) {
         self.worker_due = None;
         let Some(addr) = self.local_addr else { return };
+        // A join after an address change is the "subflow switch" of the
+        // paper's sequential bTelco handover (Fig. 8).
+        telemetry::counter("transport.mptcp.subflow_switches").inc();
+        telemetry::trace_instant("mptcp.subflow_switch", "mptcp", now.as_nanos());
         let port = self.next_local_port;
         self.next_local_port = self.next_local_port.wrapping_add(1).max(50_000);
         let tcp = Tcp::connect(

@@ -9,7 +9,30 @@
 
 use cellbricks_net::{EndpointAddr, MpSignal, TcpFlags, TcpSegment};
 use cellbricks_sim::{SimDuration, SimTime};
+use cellbricks_telemetry as telemetry;
 use std::collections::BTreeMap;
+
+/// Telemetry handles shared by every connection (registered per `Tcp`;
+/// the cells are process-global, so the histograms aggregate across
+/// connections).
+#[derive(Debug)]
+struct TcpMetrics {
+    cwnd_bytes: telemetry::Histogram,
+    srtt_ns: telemetry::Histogram,
+    fast_retx: telemetry::Counter,
+    rto_fired: telemetry::Counter,
+}
+
+impl TcpMetrics {
+    fn register() -> Self {
+        Self {
+            cwnd_bytes: telemetry::histogram("transport.tcp.cwnd_bytes"),
+            srtt_ns: telemetry::histogram("transport.tcp.srtt_ns"),
+            fast_retx: telemetry::counter("transport.tcp.fast_retransmits"),
+            rto_fired: telemetry::counter("transport.tcp.rto_events"),
+        }
+    }
+}
 
 /// TCP tuning parameters.
 #[derive(Clone, Debug)]
@@ -66,6 +89,7 @@ pub enum TcpState {
 #[derive(Debug)]
 pub struct Tcp {
     cfg: TcpConfig,
+    metrics: TcpMetrics,
     /// Local address/port (source of emitted segments).
     pub local: EndpointAddr,
     /// Remote address/port.
@@ -205,6 +229,7 @@ impl Tcp {
         Tcp {
             rto: cfg.initial_rto,
             cfg,
+            metrics: TcpMetrics::register(),
             local,
             remote,
             state,
@@ -512,6 +537,8 @@ impl Tcp {
                 // up as SACKed data above snd_una (RFC 6675 spirit).
                 // CUBIC-style multiplicative decrease (β = 0.7, Linux).
                 self.fast_retx_events += 1;
+                self.metrics.fast_retx.inc();
+                telemetry::trace_instant("tcp.fast_retransmit", "tcp", now.as_nanos());
                 self.cubic_wmax = self.cwnd.max(self.effective_flight() as f64);
                 self.ssthresh = (self.cubic_wmax * 0.7).max(2.0 * f64::from(self.cfg.mss));
                 self.cwnd = self.ssthresh;
@@ -720,6 +747,8 @@ impl Tcp {
                 // Go-back-N from snd_una (SACKed ranges are skipped by
                 // the hole filler once recovery re-enters).
                 self.rto_events += 1;
+                self.metrics.rto_fired.inc();
+                telemetry::trace_instant("tcp.rto", "tcp", now.as_nanos());
                 self.cubic_wmax = self.cubic_wmax.max(self.cwnd);
                 self.ssthresh = (self.cubic_wmax * 0.7).max(2.0 * f64::from(self.cfg.mss));
                 self.cwnd = f64::from(self.cfg.mss);
@@ -876,6 +905,8 @@ impl Tcp {
                     }
                 }
                 let srtt = self.srtt.unwrap();
+                self.metrics.srtt_ns.record(srtt.as_nanos());
+                self.metrics.cwnd_bytes.record(self.cwnd as u64);
                 let var4 = self.rttvar * 4;
                 let floor = SimDuration::from_millis(1);
                 self.rto = (srtt + var4.max(floor))
