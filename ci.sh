@@ -26,5 +26,13 @@ grep -q '"fig7.us-east-1.CB.total_ns"' results/fig7.metrics.json
 echo
 echo "==> results/fig7.metrics.json OK"
 
+# Smoke-check the engine-scale sweep: a reduced run must report the
+# scheduler events/sec gauges for each swept endpoint count.
+run cargo run --release -q -p cellbricks-bench --bin exp_scale -- --smoke
+test -s results/exp_scale.metrics.json
+grep -q '"exp_scale.engine.n1000.events_per_sec"' results/exp_scale.metrics.json
+echo
+echo "==> results/exp_scale.metrics.json OK"
+
 echo
 echo "CI gate passed."

@@ -21,7 +21,7 @@ use crate::video::{VideoClient, VideoServer};
 use crate::voip::VoipPeer;
 use crate::web::{PageModel, WebClient, WebServer};
 use cellbricks_net::{
-    run_between, CarrierPolicy, EndpointAddr, LinkConfig, LinkId, NetWorld, RateSchedule, Router,
+    CarrierPolicy, Driver, EndpointAddr, LinkConfig, LinkId, NetWorld, RateSchedule, Router,
     Shaper, TimeOfDay, Topology,
 };
 use cellbricks_ran::{CellSelector, DriveProfile, DriveSim, RouteKind};
@@ -267,19 +267,17 @@ fn run_drive<C: App, S: App>(
         server_app,
     );
     let end = SimTime::ZERO + cfg.duration;
-    let mut cursor = SimTime::ZERO;
+    let mut driver = Driver::new();
     let handovers = dw.handover_times.clone();
     for (i, &ho) in handovers.iter().enumerate() {
         if ho >= end {
             break;
         }
-        run_between(
+        driver.run_to(
             &mut dw.world,
             &mut [&mut client, &mut access, &mut server],
-            cursor,
             ho,
         );
-        cursor = ho;
         match cfg.arch {
             Arch::Mno => {
                 // In-network handover: IP kept; optional brief radio
@@ -294,21 +292,18 @@ fn run_drive<C: App, S: App>(
                 dw.world.set_outage(dw.radio_link, ho + cfg.attach_delay);
                 client.host.invalidate_addr(ho);
                 let attach_done = ho + cfg.attach_delay;
-                run_between(
+                driver.run_to(
                     &mut dw.world,
                     &mut [&mut client, &mut access, &mut server],
-                    cursor,
                     attach_done,
                 );
                 client.host.assign_addr(attach_done, nth_ue_ip(i + 1));
-                cursor = attach_done;
             }
         }
     }
-    run_between(
+    driver.run_to(
         &mut dw.world,
         &mut [&mut client, &mut access, &mut server],
-        cursor,
         end,
     );
     (client.app, server.app, dw)

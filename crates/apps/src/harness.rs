@@ -83,7 +83,7 @@ impl<A: App> Endpoint for AppHost<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cellbricks_net::{run_until, LinkConfig, NetWorld, Topology};
+    use cellbricks_net::{Driver, LinkConfig, NetWorld, Topology};
     use cellbricks_sim::SimRng;
     use std::net::Ipv4Addr;
 
@@ -118,7 +118,7 @@ mod tests {
                 started: false,
             },
         );
-        run_until(&mut world, &mut [&mut ep], SimTime::from_secs(1));
+        Driver::new().run_to(&mut world, &mut [&mut ep], SimTime::from_secs(1));
         assert!(ep.app.started);
         assert!(ep.app.ticks >= 10, "{} ticks", ep.app.ticks);
     }

@@ -117,7 +117,7 @@ impl App for IperfServer {
 mod tests {
     use super::*;
     use crate::harness::AppHost;
-    use cellbricks_net::{run_until, LinkConfig, NetWorld, Shaper, Topology};
+    use cellbricks_net::{Driver, LinkConfig, NetWorld, Shaper, Topology};
     use cellbricks_sim::SimRng;
     use std::net::Ipv4Addr;
 
@@ -154,7 +154,7 @@ mod tests {
             ),
         );
         let mut server = AppHost::new(Host::new(server_node, Some(SRV)), IperfServer::new(5001));
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut client, &mut server],
             SimTime::from_secs(secs),

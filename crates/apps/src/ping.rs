@@ -128,7 +128,7 @@ impl App for EchoServer {
 mod tests {
     use super::*;
     use crate::harness::AppHost;
-    use cellbricks_net::{run_until, LinkConfig, NetWorld, Topology};
+    use cellbricks_net::{Driver, LinkConfig, NetWorld, Topology};
     use cellbricks_sim::SimRng;
     use std::net::Ipv4Addr;
 
@@ -149,7 +149,7 @@ mod tests {
             PingClient::new(EndpointAddr::new(SRV, 7), SimDuration::from_millis(200)),
         );
         let mut server = AppHost::new(Host::new(b, Some(SRV)), EchoServer::new(7));
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut client, &mut server],
             SimTime::from_secs(10),
@@ -182,7 +182,7 @@ mod tests {
             PingClient::new(EndpointAddr::new(SRV, 7), SimDuration::from_millis(50)),
         );
         let mut server = AppHost::new(Host::new(b, Some(SRV)), EchoServer::new(7));
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut client, &mut server],
             SimTime::from_secs(30),

@@ -152,7 +152,7 @@ impl App for QuicIperfServer {
 mod tests {
     use super::*;
     use crate::harness::AppHost;
-    use cellbricks_net::{run_between, run_until, LinkConfig, NetWorld, Shaper, Topology};
+    use cellbricks_net::{Driver, LinkConfig, NetWorld, Shaper, Topology};
     use cellbricks_sim::SimRng;
 
     const UE: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn quic_fills_the_pipe() {
         let (mut world, mut client, mut server) = setup(10e6);
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut client, &mut server],
             SimTime::from_secs(15),
@@ -208,7 +208,8 @@ mod tests {
     #[test]
     fn quic_migrates_across_ip_change_over_netsim() {
         let (mut world, mut client, mut server) = setup(10e6);
-        run_until(
+        let mut driver = Driver::new();
+        driver.run_to(
             &mut world,
             &mut [&mut client, &mut server],
             SimTime::from_secs(5),
@@ -217,19 +218,17 @@ mod tests {
         assert!(before > 0);
         let t0 = SimTime::from_secs(5);
         client.host.invalidate_addr(t0);
-        run_between(
+        driver.run_to(
             &mut world,
             &mut [&mut client, &mut server],
-            t0,
             t0 + SimDuration::from_millis(32),
         );
         client
             .host
             .assign_addr(t0 + SimDuration::from_millis(32), UE2);
-        run_between(
+        driver.run_to(
             &mut world,
             &mut [&mut client, &mut server],
-            t0 + SimDuration::from_millis(32),
             SimTime::from_secs(10),
         );
         assert!(

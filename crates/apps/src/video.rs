@@ -234,7 +234,7 @@ impl App for VideoServer {
 mod tests {
     use super::*;
     use crate::harness::AppHost;
-    use cellbricks_net::{run_until, LinkConfig, NetWorld, Shaper, Topology};
+    use cellbricks_net::{Driver, LinkConfig, NetWorld, Shaper, Topology};
     use cellbricks_sim::SimRng;
     use std::net::Ipv4Addr;
 
@@ -268,7 +268,7 @@ mod tests {
             Host::new(cellbricks_net::NodeId(1), Some(SRV)),
             VideoServer::new(8081, 8082),
         );
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut client, &mut server],
             SimTime::from_secs(secs),

@@ -184,7 +184,7 @@ impl App for VoipPeer {
 mod tests {
     use super::*;
     use crate::harness::AppHost;
-    use cellbricks_net::{run_between, run_until, LinkConfig, NetWorld, Topology};
+    use cellbricks_net::{Driver, LinkConfig, NetWorld, Topology};
     use cellbricks_sim::SimRng;
 
     const UE: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn clean_call_scores_high_mos() {
         let (mut world, mut caller, mut callee) = setup();
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut caller, &mut callee],
             SimTime::from_secs(30),
@@ -227,27 +227,26 @@ mod tests {
     #[test]
     fn ip_change_recovers_via_reinvite() {
         let (mut world, mut caller, mut callee) = setup();
-        run_until(
+        let mut driver = Driver::new();
+        driver.run_to(
             &mut world,
             &mut [&mut caller, &mut callee],
             SimTime::from_secs(10),
         );
         let t0 = SimTime::from_secs(10);
         caller.host.invalidate_addr(t0);
-        run_between(
+        driver.run_to(
             &mut world,
             &mut [&mut caller, &mut callee],
-            t0,
             t0 + SimDuration::from_millis(40),
         );
         caller
             .host
             .assign_addr(t0 + SimDuration::from_millis(40), UE2);
         let before = caller.app.stats.received;
-        run_between(
+        driver.run_to(
             &mut world,
             &mut [&mut caller, &mut callee],
-            t0 + SimDuration::from_millis(40),
             SimTime::from_secs(20),
         );
         // Media resumed to the new address in both directions.

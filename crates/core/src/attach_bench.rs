@@ -26,7 +26,7 @@ use cellbricks_epc::aka::SharedKey;
 use cellbricks_epc::enb::Enb;
 use cellbricks_epc::subscriber_db::SubscriberDb;
 use cellbricks_epc::ue_nas::{UeNas, UeNasConfig};
-use cellbricks_net::{run_between, LinkConfig, NetWorld, Topology};
+use cellbricks_net::{Driver, LinkConfig, NetWorld, Topology};
 use cellbricks_sim::{SimDuration, SimRng, SimTime};
 use cellbricks_telemetry as telemetry;
 use std::collections::HashMap;
@@ -227,6 +227,7 @@ pub fn run_baseline(
     sdb.provision(42, SharedKey([7; 16]));
 
     let mut cursor = SimTime::ZERO;
+    let mut driver = Driver::new();
     // Per-module processing is measured as the delta across the attach
     // window only (detach signalling afterwards is not part of Fig. 7).
     let mut ue_proc = SimDuration::ZERO;
@@ -243,10 +244,9 @@ pub fn run_baseline(
         );
         ue.start_attach(cursor);
         let until = cursor + SimDuration::from_secs(2);
-        run_between(
+        driver.run_to(
             &mut world,
             &mut [&mut ue, &mut enb, &mut agw, &mut sdb],
-            cursor,
             until,
         );
         assert!(ue.is_attached(), "baseline attach {i} failed");
@@ -261,10 +261,9 @@ pub fn run_baseline(
         }
         ue.start_detach(until);
         cursor = until + SimDuration::from_secs(1);
-        run_between(
+        driver.run_to(
             &mut world,
             &mut [&mut ue, &mut enb, &mut agw, &mut sdb],
-            until,
             cursor,
         );
     }
@@ -363,6 +362,7 @@ pub fn run_cellbricks(
     );
 
     let mut cursor = SimTime::ZERO;
+    let mut driver = Driver::new();
     let mut ue_proc = SimDuration::ZERO;
     let mut enb_proc = SimDuration::ZERO;
     let mut agw_cloud_proc = SimDuration::ZERO;
@@ -381,10 +381,9 @@ pub fn run_cellbricks(
         let mut t = cursor;
         while !ue.is_attached() && t < until {
             let next = t + SimDuration::from_millis(1);
-            run_between(
+            driver.run_to(
                 &mut world,
                 &mut [&mut ue, &mut enb, &mut telco, &mut brokerd],
-                t,
                 next,
             );
             t = next;
@@ -399,18 +398,16 @@ pub fn run_cellbricks(
         if let Some(total) = ue.last_attach_latency {
             hists.record_trial(cursor, total, d_ue, d_enb, d_cloud, &cell);
         }
-        run_between(
+        driver.run_to(
             &mut world,
             &mut [&mut ue, &mut enb, &mut telco, &mut brokerd],
-            t,
             until,
         );
         ue.detach(until);
         cursor = until + SimDuration::from_secs(1);
-        run_between(
+        driver.run_to(
             &mut world,
             &mut [&mut ue, &mut enb, &mut telco, &mut brokerd],
-            until,
             cursor,
         );
     }

@@ -228,7 +228,7 @@ mod tests {
     use crate::agw::{Agw, AgwConfig};
     use crate::enb::Enb;
     use crate::subscriber_db::SubscriberDb;
-    use cellbricks_net::{run_until, LinkConfig, NetWorld, Topology};
+    use cellbricks_net::{Driver, LinkConfig, NetWorld, Topology};
     use cellbricks_sim::SimRng;
 
     const UE_SIG: Ipv4Addr = Ipv4Addr::new(169, 254, 0, 1);
@@ -295,7 +295,7 @@ mod tests {
     fn full_baseline_attach_end_to_end() {
         let (mut world, mut ue, mut enb, mut agw, mut sdb) = testbed(SimDuration::from_millis(4));
         ue.start_attach(SimTime::ZERO);
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut ue, &mut enb, &mut agw, &mut sdb],
             SimTime::from_secs(2),
@@ -315,7 +315,7 @@ mod tests {
     fn attach_latency_scales_with_cloud_rtt() {
         let (mut world, mut ue, mut enb, mut agw, mut sdb) = testbed(SimDuration::from_millis(1));
         ue.start_attach(SimTime::ZERO);
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut ue, &mut enb, &mut agw, &mut sdb],
             SimTime::from_secs(2),
@@ -324,7 +324,7 @@ mod tests {
 
         let (mut world, mut ue, mut enb, mut agw, mut sdb) = testbed(SimDuration::from_millis(35));
         ue.start_attach(SimTime::ZERO);
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut ue, &mut enb, &mut agw, &mut sdb],
             SimTime::from_secs(2),
@@ -354,7 +354,7 @@ mod tests {
             },
         );
         ue.start_attach(SimTime::ZERO);
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut ue, &mut enb, &mut agw, &mut sdb],
             SimTime::from_secs(2),
@@ -378,7 +378,7 @@ mod tests {
             },
         );
         ue.start_attach(SimTime::ZERO);
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut ue, &mut enb, &mut agw, &mut sdb],
             SimTime::from_secs(2),
@@ -393,17 +393,16 @@ mod tests {
     fn detach_releases_bearer() {
         let (mut world, mut ue, mut enb, mut agw, mut sdb) = testbed(SimDuration::from_millis(1));
         ue.start_attach(SimTime::ZERO);
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut ue, &mut enb, &mut agw, &mut sdb],
             SimTime::from_secs(1),
         );
         assert_eq!(agw.bearers.len(), 1);
         ue.start_detach(SimTime::from_secs(1));
-        cellbricks_net::run_between(
+        Driver::starting_at(SimTime::from_secs(1)).run_to(
             &mut world,
             &mut [&mut ue, &mut enb, &mut agw, &mut sdb],
-            SimTime::from_secs(1),
             SimTime::from_secs(2),
         );
         assert_eq!(agw.bearers.len(), 0);

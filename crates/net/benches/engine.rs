@@ -1,0 +1,152 @@
+//! Engine microbenchmark: one busy flow amid N idle endpoints.
+//!
+//! The shape that broke the old per-event scan: a single 100 µs ticker
+//! generates all the events while N − 1 endpoints sit idle on far-out
+//! timers. With a scan, every tick costs O(N); with the indexed
+//! [`Driver`], waking the one due endpoint costs O(log N), so the
+//! per-tick time should stay nearly flat from N = 10 to N = 10 000.
+//!
+//! Run with `cargo bench -p cellbricks-net --bench engine`.
+
+use bytes::Bytes;
+use cellbricks_net::{Driver, Endpoint, LinkConfig, NetWorld, NodeId, Packet, Topology};
+use cellbricks_sim::{SimDuration, SimRng, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+const SRC_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 9, 1);
+const DST_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 9, 2);
+
+/// Sends one control packet to [`DST_IP`] every `interval`, forever.
+struct Ticker {
+    node: NodeId,
+    next: SimTime,
+    interval: SimDuration,
+}
+
+impl Endpoint for Ticker {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+    fn handle_packet(&mut self, _now: SimTime, _pkt: Packet, _out: &mut Vec<Packet>) {}
+    fn poll_at(&self) -> Option<SimTime> {
+        Some(self.next)
+    }
+    fn poll(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        while self.next <= now {
+            out.push(Packet::control(SRC_IP, DST_IP, Bytes::from_static(b"t")));
+            self.next += self.interval;
+        }
+    }
+}
+
+/// Counts receptions; never wakes itself.
+struct Sink {
+    node: NodeId,
+    received: u64,
+}
+
+impl Endpoint for Sink {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+    fn handle_packet(&mut self, _now: SimTime, _pkt: Packet, _out: &mut Vec<Packet>) {
+        self.received += 1;
+    }
+    fn poll_at(&self) -> Option<SimTime> {
+        None
+    }
+    fn poll(&mut self, _now: SimTime, _out: &mut Vec<Packet>) {}
+}
+
+/// Idle bystander: armed on a timer that never comes due in-bench.
+struct Idle {
+    node: NodeId,
+    wake: SimTime,
+}
+
+impl Endpoint for Idle {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+    fn handle_packet(&mut self, _now: SimTime, _pkt: Packet, _out: &mut Vec<Packet>) {}
+    fn poll_at(&self) -> Option<SimTime> {
+        Some(self.wake)
+    }
+    fn poll(&mut self, now: SimTime, _out: &mut Vec<Packet>) {
+        self.wake = now + SimDuration::from_secs(3_600);
+    }
+}
+
+struct BenchWorld {
+    world: NetWorld,
+    ticker: Ticker,
+    sink: Sink,
+    idles: Vec<Idle>,
+    driver: Driver,
+    cursor: SimTime,
+}
+
+fn build(n_idle: usize) -> BenchWorld {
+    let mut t = Topology::new();
+    let src = t.add_node("src");
+    let dst = t.add_node("dst");
+    let link = t.add_symmetric_link(
+        src,
+        dst,
+        LinkConfig::delay_only(SimDuration::from_micros(10)),
+    );
+    t.add_default_route(src, link);
+    t.add_default_route(dst, link);
+    let idles = (0..n_idle)
+        .map(|i| Idle {
+            node: t.add_node(&format!("idle-{i}")),
+            wake: SimTime::from_secs(3_600),
+        })
+        .collect();
+    BenchWorld {
+        world: NetWorld::new(t, SimRng::new(42)),
+        ticker: Ticker {
+            node: src,
+            next: SimTime::ZERO,
+            interval: SimDuration::from_micros(100),
+        },
+        sink: Sink {
+            node: dst,
+            received: 0,
+        },
+        idles,
+        driver: Driver::new(),
+        cursor: SimTime::ZERO,
+    }
+}
+
+impl BenchWorld {
+    /// Advance the same world by one more window; no rebuild, so the
+    /// measured cost is pure engine work.
+    fn advance(&mut self, by: SimDuration) -> u64 {
+        self.cursor += by;
+        let mut eps: Vec<&mut dyn Endpoint> = Vec::with_capacity(self.idles.len() + 2);
+        eps.push(&mut self.ticker);
+        eps.push(&mut self.sink);
+        for idle in &mut self.idles {
+            eps.push(idle);
+        }
+        self.driver.run_to(&mut self.world, &mut eps, self.cursor);
+        self.sink.received
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    for n in [10usize, 1_000, 10_000] {
+        // 10 ms of virtual time = 100 ticks + 100 arrivals per iteration.
+        let mut w = build(n);
+        c.bench_function(&format!("driver_busy_flow_idle_{n}"), |b| {
+            b.iter(|| black_box(w.advance(SimDuration::from_millis(10))))
+        });
+    }
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,499 @@
+//! The indexed simulation engine.
+//!
+//! [`Driver`] owns the scheduling state for a set of [`Endpoint`]s over a
+//! [`NetWorld`] and advances virtual time without ever scanning the whole
+//! endpoint population per event:
+//!
+//! * **registry** — endpoints are keyed by [`NodeId`] once per endpoint
+//!   set (rebuilt only if the set changes between runs), so arrival
+//!   dispatch is a single hash lookup;
+//! * **timer index** — every endpoint's `poll_at()` lives in an
+//!   [`EventQueue`]`<(endpoint, generation)>` with lazy invalidation:
+//!   a stale entry (its generation no longer matches the endpoint's) is
+//!   discarded when it surfaces, so re-arming a timer is O(log N) and
+//!   never requires a heap delete;
+//! * **dirty set** — only endpoints that just received a packet or just
+//!   polled are re-queried for `poll_at()`; everything else is passive
+//!   and cannot have moved its own timer;
+//! * **reusable buffers** — arrivals and endpoint output are drained
+//!   into buffers owned by the driver, so the hot loop performs no
+//!   per-iteration allocation.
+//!
+//! The engine preserves the exact event order of the original
+//! scan-per-event loop: arrivals dispatch in queue order (time, then
+//! FIFO), due endpoints poll in endpoint-slice order, and the clock never
+//! runs backwards. Invariants are documented in `DESIGN.md` §Engine.
+
+use crate::packet::PacketKind;
+use crate::topology::NodeId;
+use crate::world::{Endpoint, NetWorld};
+use cellbricks_sim::{EventQueue, SimTime};
+use cellbricks_telemetry as telemetry;
+use std::collections::HashMap;
+
+/// Scheduler telemetry handles, registered once per [`Driver`]; the
+/// wall-clock service timers only run when telemetry is enabled so the
+/// disabled path costs one atomic load per dispatched event.
+struct EngineMetrics {
+    ev_arrival: telemetry::Counter,
+    ev_poll: telemetry::Counter,
+    svc_tcp: telemetry::Histogram,
+    svc_udp: telemetry::Histogram,
+    svc_control: telemetry::Histogram,
+    svc_poll: telemetry::Histogram,
+    q_depth: telemetry::Gauge,
+}
+
+impl EngineMetrics {
+    fn register() -> Self {
+        Self {
+            ev_arrival: telemetry::counter("sim.scheduler.events.arrival"),
+            ev_poll: telemetry::counter("sim.scheduler.events.poll"),
+            svc_tcp: telemetry::histogram("sim.scheduler.service_ns.tcp"),
+            svc_udp: telemetry::histogram("sim.scheduler.service_ns.udp"),
+            svc_control: telemetry::histogram("sim.scheduler.service_ns.control"),
+            svc_poll: telemetry::histogram("sim.scheduler.service_ns.poll"),
+            q_depth: telemetry::gauge("sim.scheduler.ready_events"),
+        }
+    }
+}
+
+/// The reusable simulation engine: registry, timer index, dirty set and
+/// scratch buffers. Create one per simulation (or per segmented run) and
+/// call [`run_to`](Driver::run_to) repeatedly with a monotone horizon.
+pub struct Driver {
+    /// Registered endpoint nodes, in endpoint-slice order.
+    nodes: Vec<NodeId>,
+    /// NodeId → endpoint index, built when the endpoint set is first seen.
+    node_map: HashMap<NodeId, usize>,
+    /// Current timer generation per endpoint; heap entries with an older
+    /// generation are stale and skipped lazily.
+    gen: Vec<u64>,
+    /// The `poll_at` instant currently indexed per endpoint (None: no
+    /// live heap entry).
+    scheduled: Vec<Option<SimTime>>,
+    /// Timer index over `(endpoint index, generation)`.
+    timers: EventQueue<(usize, u64)>,
+    dirty: Vec<bool>,
+    dirty_list: Vec<usize>,
+    /// Endpoints due at the current instant (sorted to slice order).
+    due: Vec<usize>,
+    /// Reusable arrival buffer (drained each iteration).
+    arrivals: Vec<(SimTime, NodeId, crate::packet::Packet)>,
+    /// Reusable endpoint-output buffer.
+    out: Vec<crate::packet::Packet>,
+    /// The floor of the next run window (the previous window's end).
+    clock: SimTime,
+    metrics: EngineMetrics,
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Driver {
+    /// An engine whose clock starts at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::starting_at(SimTime::ZERO)
+    }
+
+    /// An engine whose clock starts at `from` (events and "as soon as
+    /// possible" polls due earlier are processed at `from`).
+    #[must_use]
+    pub fn starting_at(from: SimTime) -> Self {
+        Self {
+            nodes: Vec::new(),
+            node_map: HashMap::new(),
+            gen: Vec::new(),
+            scheduled: Vec::new(),
+            timers: EventQueue::new(),
+            dirty: Vec::new(),
+            dirty_list: Vec::new(),
+            due: Vec::new(),
+            arrivals: Vec::new(),
+            out: Vec::new(),
+            clock: from,
+            metrics: EngineMetrics::register(),
+        }
+    }
+
+    /// The floor of the next run window.
+    #[must_use]
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// (Re)build the registry if the endpoint set changed, and mark every
+    /// endpoint dirty: the caller may have mutated endpoints (started
+    /// flows, armed timers) since the previous window.
+    ///
+    /// # Panics
+    /// Panics if two endpoints share a node.
+    fn sync_registry(&mut self, endpoints: &[&mut dyn Endpoint]) {
+        let unchanged = self.nodes.len() == endpoints.len()
+            && self
+                .nodes
+                .iter()
+                .zip(endpoints.iter())
+                .all(|(n, e)| *n == e.node());
+        if !unchanged {
+            self.nodes.clear();
+            self.nodes.extend(endpoints.iter().map(|e| e.node()));
+            self.node_map.clear();
+            self.node_map
+                .extend(self.nodes.iter().enumerate().map(|(i, n)| (*n, i)));
+            assert_eq!(
+                self.node_map.len(),
+                endpoints.len(),
+                "two endpoints share a node"
+            );
+            self.gen.clear();
+            self.gen.resize(endpoints.len(), 0);
+            self.scheduled.clear();
+            self.scheduled.resize(endpoints.len(), None);
+            self.timers.clear();
+            self.dirty.clear();
+            self.dirty.resize(endpoints.len(), false);
+            self.dirty_list.clear();
+        }
+        for i in 0..endpoints.len() {
+            self.mark_dirty(i);
+        }
+    }
+
+    fn mark_dirty(&mut self, i: usize) {
+        if !self.dirty[i] {
+            self.dirty[i] = true;
+            self.dirty_list.push(i);
+        }
+    }
+
+    /// Re-query `poll_at` for every dirty endpoint and update the timer
+    /// index. An unchanged instant keeps its live heap entry; a changed
+    /// one bumps the generation (lazily invalidating the old entry) and
+    /// pushes a fresh entry.
+    fn flush_dirty(&mut self, endpoints: &[&mut dyn Endpoint]) {
+        while let Some(i) = self.dirty_list.pop() {
+            self.dirty[i] = false;
+            let want = endpoints[i].poll_at();
+            if want != self.scheduled[i] {
+                self.gen[i] += 1;
+                if let Some(t) = want {
+                    self.timers.push(t, (i, self.gen[i]));
+                }
+                self.scheduled[i] = want;
+            }
+        }
+    }
+
+    /// The earliest live timer, discarding stale entries.
+    fn peek_timer(&mut self) -> Option<SimTime> {
+        loop {
+            let (t, &(i, g)) = self.timers.peek()?;
+            if self.gen[i] == g {
+                return Some(t);
+            }
+            self.timers.pop();
+        }
+    }
+
+    /// Pop the endpoint of the earliest live timer due at or before
+    /// `now`, discarding stale entries.
+    fn pop_due_timer(&mut self, now: SimTime) -> Option<usize> {
+        loop {
+            let (t, &(i, g)) = self.timers.peek()?;
+            if t > now {
+                return None;
+            }
+            self.timers.pop();
+            if self.gen[i] == g {
+                self.scheduled[i] = None;
+                return Some(i);
+            }
+        }
+    }
+
+    /// Drive `endpoints` over `world` until no event remains at or before
+    /// `until`, starting from this engine's clock. Returns the time of
+    /// the last processed event, and advances the clock to `until` so
+    /// segmented runs chain exactly like repeated [`run_between`] calls.
+    ///
+    /// # Panics
+    /// Panics if endpoints livelock (an endpoint keeps reporting a due
+    /// `poll_at` without making progress) or two endpoints share a node.
+    pub fn run_to(
+        &mut self,
+        world: &mut NetWorld,
+        endpoints: &mut [&mut dyn Endpoint],
+        until: SimTime,
+    ) -> SimTime {
+        self.sync_registry(endpoints);
+        let mut last = self.clock;
+        let mut same_instant_iters = 0u64;
+
+        loop {
+            self.flush_dirty(endpoints);
+            let next_net = world.next_arrival_at();
+            let next_poll = self.peek_timer();
+            let candidate = match (next_net, next_poll) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            if candidate > until {
+                break;
+            }
+            // Endpoints may report "as soon as possible" with a past
+            // instant (e.g. staged output); the clock never runs
+            // backwards.
+            let now = candidate.max(last);
+            if now == last {
+                same_instant_iters += 1;
+                assert!(same_instant_iters < 1_000_000, "endpoint livelock at {now}");
+            } else {
+                same_instant_iters = 0;
+                last = now;
+            }
+
+            let timed = telemetry::is_enabled();
+            world.drain_arrivals_into(now, &mut self.arrivals);
+            if timed {
+                self.metrics.q_depth.set(self.arrivals.len() as i64);
+            }
+            let mut arrivals = std::mem::take(&mut self.arrivals);
+            for (_at, node, pkt) in arrivals.drain(..) {
+                if let Some(&i) = self.node_map.get(&node) {
+                    self.metrics.ev_arrival.inc();
+                    let svc = match &pkt.kind {
+                        PacketKind::Tcp(_) => &self.metrics.svc_tcp,
+                        PacketKind::Udp { .. } => &self.metrics.svc_udp,
+                        PacketKind::Control(_) => &self.metrics.svc_control,
+                    };
+                    let t0 = timed.then(std::time::Instant::now);
+                    endpoints[i].handle_packet(now, pkt, &mut self.out);
+                    if let Some(t0) = t0 {
+                        svc.record(t0.elapsed().as_nanos() as u64);
+                    }
+                    let from = endpoints[i].node();
+                    for p in self.out.drain(..) {
+                        world.send(now, from, p);
+                    }
+                    self.mark_dirty(i);
+                }
+                // Packets delivered to nodes with no endpoint vanish (a
+                // misconfigured topology shows up in link stats).
+            }
+            self.arrivals = arrivals;
+
+            // Index the timers re-armed by the packets just handled, then
+            // wake everything due now, in endpoint-slice order.
+            self.flush_dirty(endpoints);
+            self.due.clear();
+            while let Some(i) = self.pop_due_timer(now) {
+                self.due.push(i);
+            }
+            self.due.sort_unstable();
+            for k in 0..self.due.len() {
+                let i = self.due[k];
+                self.metrics.ev_poll.inc();
+                let t0 = timed.then(std::time::Instant::now);
+                endpoints[i].poll(now, &mut self.out);
+                if let Some(t0) = t0 {
+                    self.metrics.svc_poll.record(t0.elapsed().as_nanos() as u64);
+                }
+                let from = endpoints[i].node();
+                for p in self.out.drain(..) {
+                    world.send(now, from, p);
+                }
+                self.mark_dirty(i);
+            }
+        }
+        self.clock = self.clock.max(until);
+        last
+    }
+}
+
+/// Drive `endpoints` over `world` from time zero until no event remains
+/// at or before `until`. Returns the time of the last processed event.
+/// One-shot convenience over [`Driver`]; for segmented runs keep a
+/// `Driver` and call [`Driver::run_to`] repeatedly.
+pub fn run_until(
+    world: &mut NetWorld,
+    endpoints: &mut [&mut dyn Endpoint],
+    until: SimTime,
+) -> SimTime {
+    Driver::new().run_to(world, endpoints, until)
+}
+
+/// Drive `endpoints` over `world` until no event remains at or before
+/// `until`, with the clock starting at `from`. One-shot convenience over
+/// [`Driver::starting_at`].
+///
+/// # Panics
+/// Panics if endpoints livelock (an endpoint keeps reporting a due
+/// `poll_at` without making progress).
+pub fn run_between(
+    world: &mut NetWorld,
+    endpoints: &mut [&mut dyn Endpoint],
+    from: SimTime,
+    until: SimTime,
+) -> SimTime {
+    Driver::starting_at(from).run_to(world, endpoints, until)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use crate::packet::Packet;
+    use crate::topology::Topology;
+    use bytes::Bytes;
+    use cellbricks_sim::{SimDuration, SimRng};
+    use std::net::Ipv4Addr;
+
+    const IP_A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const IP_B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    /// Sends one packet to `dst` every `interval`; records receptions.
+    struct Periodic {
+        node: NodeId,
+        dst: Ipv4Addr,
+        next: SimTime,
+        interval: SimDuration,
+        sent: u32,
+        limit: u32,
+        received: Vec<SimTime>,
+    }
+
+    impl Endpoint for Periodic {
+        fn node(&self) -> NodeId {
+            self.node
+        }
+        fn handle_packet(&mut self, now: SimTime, _pkt: Packet, _out: &mut Vec<Packet>) {
+            self.received.push(now);
+        }
+        fn poll_at(&self) -> Option<SimTime> {
+            (self.sent < self.limit).then_some(self.next)
+        }
+        fn poll(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+            while self.sent < self.limit && self.next <= now {
+                out.push(Packet::control(IP_A, self.dst, Bytes::from_static(b"p")));
+                self.sent += 1;
+                self.next += self.interval;
+            }
+        }
+    }
+
+    fn two_node_world() -> (NetWorld, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let l = t.add_symmetric_link(a, b, LinkConfig::delay_only(SimDuration::from_millis(1)));
+        t.add_default_route(a, l);
+        t.add_default_route(b, l);
+        (NetWorld::new(t, SimRng::new(1)), a, b)
+    }
+
+    fn periodic(node: NodeId, dst: Ipv4Addr, limit: u32) -> Periodic {
+        Periodic {
+            node,
+            dst,
+            next: SimTime::from_millis(10),
+            interval: SimDuration::from_millis(10),
+            sent: 0,
+            limit,
+            received: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn segmented_run_matches_single_run() {
+        let run = |segments: &[u64]| -> Vec<SimTime> {
+            let (mut world, a, b) = two_node_world();
+            let mut pa = periodic(a, IP_B, 50);
+            let mut pb = periodic(b, IP_A, 0);
+            let mut driver = Driver::new();
+            for &s in segments {
+                driver.run_to(&mut world, &mut [&mut pa, &mut pb], SimTime::from_millis(s));
+            }
+            pb.received.clone()
+        };
+        let single = run(&[1_000]);
+        let segmented = run(&[3, 17, 200, 201, 550, 1_000]);
+        assert_eq!(single.len(), 50);
+        assert_eq!(single, segmented);
+    }
+
+    #[test]
+    fn rearmed_timer_invalidates_stale_entry() {
+        let (mut world, a, b) = two_node_world();
+        let mut pa = periodic(a, IP_B, 3);
+        let mut pb = periodic(b, IP_A, 0);
+        let mut driver = Driver::new();
+        driver.run_to(
+            &mut world,
+            &mut [&mut pa, &mut pb],
+            SimTime::from_millis(15),
+        );
+        // Re-arm pa's timer earlier than its indexed 20 ms entry; the
+        // driver must honour the new instant, not the stale one.
+        pa.next = SimTime::from_millis(16);
+        driver.run_to(
+            &mut world,
+            &mut [&mut pa, &mut pb],
+            SimTime::from_millis(18),
+        );
+        assert_eq!(pa.sent, 2);
+        driver.run_to(&mut world, &mut [&mut pa, &mut pb], SimTime::from_secs(1));
+        assert_eq!(pa.sent, 3);
+        assert_eq!(
+            pb.received,
+            vec![
+                SimTime::from_millis(11),
+                SimTime::from_millis(17),
+                SimTime::from_millis(27),
+            ]
+        );
+    }
+
+    #[test]
+    fn registry_rebuilds_when_endpoint_set_changes() {
+        let (mut world, a, b) = two_node_world();
+        let mut driver = Driver::new();
+        {
+            let mut pa = periodic(a, IP_B, 1);
+            let mut pb = periodic(b, IP_A, 0);
+            driver.run_to(&mut world, &mut [&mut pa, &mut pb], SimTime::from_secs(1));
+            assert_eq!(pb.received.len(), 1);
+        }
+        // A different endpoint set on the same driver: sender now at b.
+        let mut pa = periodic(a, IP_B, 0);
+        let mut pb = periodic(b, IP_A, 2);
+        pb.next = SimTime::from_secs(2);
+        driver.run_to(&mut world, &mut [&mut pb, &mut pa], SimTime::from_secs(3));
+        assert_eq!(pa.received.len(), 2);
+    }
+
+    #[test]
+    fn wrappers_drive_to_completion() {
+        let (mut world, a, b) = two_node_world();
+        let mut pa = periodic(a, IP_B, 4);
+        let mut pb = periodic(b, IP_A, 0);
+        let last = run_until(&mut world, &mut [&mut pa, &mut pb], SimTime::from_secs(1));
+        assert_eq!(pb.received.len(), 4);
+        assert_eq!(last, SimTime::from_millis(41));
+        let mut pc = periodic(a, IP_B, 5);
+        pc.next = SimTime::from_secs(2);
+        run_between(
+            &mut world,
+            &mut [&mut pc, &mut pb],
+            SimTime::from_secs(1),
+            SimTime::from_secs(3),
+        );
+        assert_eq!(pb.received.len(), 9);
+    }
+}

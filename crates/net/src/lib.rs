@@ -13,12 +13,15 @@
 //!   and token-bucket shaping,
 //! * [`policy`] — carrier rate-policy traces (day vs. night, Appendix A),
 //! * [`topology`] — nodes, links and longest-prefix routes,
-//! * [`world`] — the event loop: [`NetWorld`], the [`Endpoint`] trait and
-//!   the [`run_until`] driver.
+//! * [`world`] — the packet mover: [`NetWorld`] and the [`Endpoint`]
+//!   trait,
+//! * [`engine`] — the indexed simulation engine: the [`Driver`] that
+//!   wakes endpoints through a timer index instead of a per-event scan.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod link;
 pub mod packet;
 pub mod policy;
@@ -26,8 +29,9 @@ pub mod topology;
 pub mod wire;
 pub mod world;
 
+pub use engine::{run_between, run_until, Driver};
 pub use link::{LinkConfig, RateSchedule, Shaper};
 pub use packet::{Endpoint as EndpointAddr, MpSignal, Packet, PacketKind, TcpFlags, TcpSegment};
 pub use policy::{CarrierPolicy, TimeOfDay};
 pub use topology::{LinkId, NodeId, Topology};
-pub use world::{run_between, run_until, Endpoint, LinkStats, NetWorld, Router};
+pub use world::{Endpoint, LinkStats, NetWorld, Router};

@@ -1,17 +1,16 @@
-//! The network event loop.
+//! The network substrate.
 //!
 //! [`NetWorld`] is a pure packet mover over a [`Topology`]: endpoints hand
 //! it packets, it applies link service (latency, shaping, loss, outages)
 //! and delivers them to the far-end node at the right virtual time.
 //! Protocol logic lives in [`Endpoint`] implementations — hosts, routers,
-//! gateways — driven by [`run_until`].
+//! gateways — driven by the [`crate::engine::Driver`] engine.
 
 use crate::link::{DropCause, Offer};
-use crate::packet::{Packet, PacketKind};
+use crate::packet::Packet;
 use crate::topology::{LinkId, NodeId, Topology};
 use cellbricks_sim::{EventQueue, SimRng, SimTime};
 use cellbricks_telemetry as telemetry;
-use std::collections::HashMap;
 
 /// A protocol participant attached to a topology node.
 ///
@@ -162,16 +161,17 @@ impl NetWorld {
         self.arrivals.peek_time()
     }
 
-    /// Pop all arrivals due at or before `now`.
-    pub fn take_arrivals(&mut self, now: SimTime) -> Vec<(SimTime, NodeId, Packet)> {
-        let mut out = Vec::new();
+    /// Pop all arrivals due at or before `now`, appending them to `out` —
+    /// a caller-owned reusable buffer, so the hot loop never allocates a
+    /// fresh `Vec` per iteration.
+    pub fn drain_arrivals_into(&mut self, now: SimTime, out: &mut Vec<(SimTime, NodeId, Packet)>) {
+        let before = out.len();
         while let Some((at, arrival)) = self.arrivals.pop_due(now) {
             out.push((at, arrival.node, arrival.pkt));
         }
-        if !out.is_empty() {
+        if out.len() != before {
             self.metrics.in_flight.set(self.arrivals.len() as i64);
         }
-        out
     }
 
     /// Blackhole both directions of `link` until `until` (radio outage
@@ -195,126 +195,6 @@ impl NetWorld {
             ba_policer_hits: l.ba.policer_hits,
         }
     }
-}
-
-/// Drive `endpoints` over `world` from time zero until no event remains
-/// at or before `until`. Returns the time of the last processed event.
-/// For segmented runs (pausing to inject application actions), use
-/// [`run_between`] with an explicit start time.
-pub fn run_until(
-    world: &mut NetWorld,
-    endpoints: &mut [&mut dyn Endpoint],
-    until: SimTime,
-) -> SimTime {
-    run_between(world, endpoints, SimTime::ZERO, until)
-}
-
-/// Drive `endpoints` over `world` until no event remains at or before
-/// `until`, with the clock starting at `from` (events and "as soon as
-/// possible" polls due earlier are processed at `from` — the clock never
-/// runs backwards). Returns the time of the last processed event.
-///
-/// # Panics
-/// Panics if endpoints livelock (an endpoint keeps reporting a due
-/// `poll_at` without making progress).
-pub fn run_between(
-    world: &mut NetWorld,
-    endpoints: &mut [&mut dyn Endpoint],
-    from: SimTime,
-    until: SimTime,
-) -> SimTime {
-    let node_map: HashMap<NodeId, usize> = endpoints
-        .iter()
-        .enumerate()
-        .map(|(i, e)| (e.node(), i))
-        .collect();
-    assert_eq!(
-        node_map.len(),
-        endpoints.len(),
-        "two endpoints share a node"
-    );
-
-    let mut out: Vec<Packet> = Vec::new();
-    let mut last = from;
-    let mut same_instant_iters = 0u64;
-
-    // Scheduler telemetry: handles are registered once per drive; the
-    // wall-clock service timers only run when telemetry is enabled so the
-    // disabled path costs one atomic load per dispatched event.
-    let ev_arrival = telemetry::counter("sim.scheduler.events.arrival");
-    let ev_poll = telemetry::counter("sim.scheduler.events.poll");
-    let svc_tcp = telemetry::histogram("sim.scheduler.service_ns.tcp");
-    let svc_udp = telemetry::histogram("sim.scheduler.service_ns.udp");
-    let svc_control = telemetry::histogram("sim.scheduler.service_ns.control");
-    let svc_poll = telemetry::histogram("sim.scheduler.service_ns.poll");
-    let q_depth = telemetry::gauge("sim.scheduler.ready_events");
-
-    loop {
-        let next_net = world.next_arrival_at();
-        let next_poll = endpoints.iter().filter_map(|e| e.poll_at()).min();
-        let candidate = match (next_net, next_poll) {
-            (Some(a), Some(b)) => a.min(b),
-            (Some(a), None) => a,
-            (None, Some(b)) => b,
-            (None, None) => break,
-        };
-        if candidate > until {
-            break;
-        }
-        // Endpoints may report "as soon as possible" with a past instant
-        // (e.g. staged output); the clock never runs backwards.
-        let now = candidate.max(last);
-        if now == last {
-            same_instant_iters += 1;
-            assert!(same_instant_iters < 1_000_000, "endpoint livelock at {now}");
-        } else {
-            same_instant_iters = 0;
-            last = now;
-        }
-
-        let timed = telemetry::is_enabled();
-        let arrivals = world.take_arrivals(now);
-        if timed && !arrivals.is_empty() {
-            q_depth.set(arrivals.len() as i64);
-        }
-        for (_at, node, pkt) in arrivals {
-            if let Some(&i) = node_map.get(&node) {
-                ev_arrival.inc();
-                let svc = match &pkt.kind {
-                    PacketKind::Tcp(_) => &svc_tcp,
-                    PacketKind::Udp { .. } => &svc_udp,
-                    PacketKind::Control(_) => &svc_control,
-                };
-                let t0 = timed.then(std::time::Instant::now);
-                endpoints[i].handle_packet(now, pkt, &mut out);
-                if let Some(t0) = t0 {
-                    svc.record(t0.elapsed().as_nanos() as u64);
-                }
-                let from = endpoints[i].node();
-                for p in out.drain(..) {
-                    world.send(now, from, p);
-                }
-            }
-            // Packets delivered to nodes with no endpoint vanish (a
-            // misconfigured topology shows up in link stats).
-        }
-
-        for e in endpoints.iter_mut() {
-            if e.poll_at().is_some_and(|t| t <= now) {
-                ev_poll.inc();
-                let t0 = timed.then(std::time::Instant::now);
-                e.poll(now, &mut out);
-                if let Some(t0) = t0 {
-                    svc_poll.record(t0.elapsed().as_nanos() as u64);
-                }
-                let from = e.node();
-                for p in out.drain(..) {
-                    world.send(now, from, p);
-                }
-            }
-        }
-    }
-    last
 }
 
 /// A store-and-forward router: re-emits every received packet (the
@@ -366,6 +246,7 @@ impl Endpoint for Router {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Driver;
     use crate::link::LinkConfig;
     use crate::packet::{Packet, PacketKind};
     use bytes::Bytes;
@@ -427,7 +308,7 @@ mod tests {
             send_at: None,
             received: vec![],
         };
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut pa, &mut router, &mut pc],
             SimTime::from_secs(10),
@@ -462,7 +343,7 @@ mod tests {
             send_at: None,
             received: vec![],
         };
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut pa, &mut router, &mut pc],
             SimTime::from_secs(1),
@@ -538,6 +419,6 @@ mod tests {
             send_at: None,
             received: vec![],
         };
-        run_until(&mut world, &mut [&mut p1, &mut p2], SimTime::from_secs(1));
+        Driver::new().run_to(&mut world, &mut [&mut p1, &mut p2], SimTime::from_secs(1));
     }
 }

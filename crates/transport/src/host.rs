@@ -436,7 +436,7 @@ impl Host {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cellbricks_net::{run_between, run_until, Endpoint, LinkConfig, NetWorld, Topology};
+    use cellbricks_net::{Driver, Endpoint, LinkConfig, NetWorld, Topology};
     use cellbricks_sim::{SimDuration, SimRng};
 
     const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -489,7 +489,7 @@ mod tests {
             .host
             .tcp_connect(SimTime::ZERO, EndpointAddr::new(SERVER_IP, 80));
         client.host.tcp_write(SimTime::ZERO, sock, 50_000);
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut client, &mut server],
             SimTime::from_secs(10),
@@ -507,7 +507,8 @@ mod tests {
         let conn = client
             .host
             .mp_connect(SimTime::ZERO, EndpointAddr::new(SERVER_IP, 5001));
-        run_until(
+        let mut driver = Driver::new();
+        driver.run_to(
             &mut world,
             &mut [&mut client, &mut server],
             SimTime::from_millis(200),
@@ -518,10 +519,9 @@ mod tests {
         server
             .host
             .mp_write(SimTime::from_millis(200), accepted[0], 200_000);
-        run_between(
+        driver.run_to(
             &mut world,
             &mut [&mut client, &mut server],
-            SimTime::from_millis(200),
             SimTime::from_secs(10),
         );
         assert_eq!(client.host.mp_mut(conn).take_delivered(), 200_000);
@@ -538,7 +538,7 @@ mod tests {
             EndpointAddr::new(SERVER_IP, 7),
             Bytes::from_static(b"ping"),
         );
-        run_until(
+        Driver::new().run_to(
             &mut world,
             &mut [&mut client, &mut server],
             SimTime::from_secs(1),
@@ -605,7 +605,8 @@ mod tests {
         let conn = client
             .host
             .mp_connect(SimTime::ZERO, EndpointAddr::new(SERVER_IP, 5001));
-        run_until(
+        let mut driver = Driver::new();
+        driver.run_to(
             &mut world,
             &mut [&mut client, &mut server],
             SimTime::from_millis(200),
@@ -614,10 +615,9 @@ mod tests {
         server
             .host
             .mp_set_bulk(SimTime::from_millis(200), server_conn);
-        run_between(
+        driver.run_to(
             &mut world,
             &mut [&mut client, &mut server],
-            SimTime::from_millis(200),
             SimTime::from_secs(2),
         );
         let before = client.host.mp(conn).data_received();
@@ -626,20 +626,18 @@ mod tests {
         // Handover: invalidate, wait 32 ms, assign new address.
         let t0 = SimTime::from_secs(2);
         client.host.invalidate_addr(t0);
-        run_between(
+        driver.run_to(
             &mut world,
             &mut [&mut client, &mut server],
-            t0,
             t0 + SimDuration::from_millis(32),
         );
         client.host.assign_addr(
             t0 + SimDuration::from_millis(32),
             Ipv4Addr::new(10, 0, 0, 2),
         );
-        run_between(
+        driver.run_to(
             &mut world,
             &mut [&mut client, &mut server],
-            t0 + SimDuration::from_millis(32),
             SimTime::from_secs(6),
         );
         let after = client.host.mp(conn).data_received();

@@ -10,9 +10,7 @@ use cellbricks::core::sap::QosCap;
 use cellbricks::core::ue::{UeDevice, UeDeviceConfig};
 use cellbricks::crypto::cert::CertificateAuthority;
 use cellbricks::epc::enb::Enb;
-use cellbricks::net::{
-    run_between, Endpoint, LinkConfig, LinkId, NetWorld, NodeId, Router, Topology,
-};
+use cellbricks::net::{Driver, Endpoint, LinkConfig, LinkId, NetWorld, NodeId, Router, Topology};
 use cellbricks::sim::{SimDuration, SimRng, SimTime};
 use cellbricks::transport::Host;
 use std::collections::HashMap;
@@ -45,6 +43,7 @@ pub struct CellBricksWorld {
     pub radio2: LinkId,
     pub ue_node: NodeId,
     pub cursor: SimTime,
+    pub driver: Driver,
 }
 
 impl CellBricksWorld {
@@ -197,6 +196,7 @@ impl CellBricksWorld {
             radio2,
             ue_node,
             cursor: SimTime::ZERO,
+            driver: Driver::new(),
         }
     }
 
@@ -225,7 +225,7 @@ impl CellBricksWorld {
             }
         }
         let mut server = ServerEp(&mut self.server);
-        run_between(
+        self.driver.run_to(
             &mut self.world,
             &mut [
                 &mut self.ue,
@@ -237,7 +237,6 @@ impl CellBricksWorld {
                 &mut self.internet,
                 &mut server,
             ],
-            self.cursor,
             until,
         );
         self.cursor = until;

@@ -19,7 +19,7 @@ use cellbricks::epc::aka::SharedKey;
 use cellbricks::epc::enb::Enb;
 use cellbricks::epc::subscriber_db::SubscriberDb;
 use cellbricks::epc::ue_nas::{UeNas, UeNasConfig};
-use cellbricks::net::{run_until, Endpoint, LinkConfig, NetWorld, NodeId, Packet, Topology};
+use cellbricks::net::{Driver, Endpoint, LinkConfig, NetWorld, NodeId, Packet, Topology};
 use cellbricks::sim::{SimDuration, SimRng, SimTime};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -169,7 +169,7 @@ fn one_btelco_serves_two_brokers() {
     let mut world = NetWorld::new(t, rng.fork());
     ue1.start_attach(SimTime::ZERO, "tower-1.example", AGW_SIG);
     ue2.start_attach(SimTime::ZERO, "tower-1.example", AGW_SIG);
-    run_until(
+    Driver::new().run_to(
         &mut world,
         &mut [
             &mut ue1,
@@ -351,7 +351,8 @@ fn dual_stack_ue_roams_from_legacy_mno_to_btelco() {
 
     // Phase 1: attach to the legacy MNO with plain EPS-AKA.
     ue.nas.start_attach(SimTime::ZERO);
-    run_until(
+    let mut driver = Driver::new();
+    driver.run_to(
         &mut world,
         &mut [
             &mut ue,
@@ -371,7 +372,7 @@ fn dual_stack_ue_roams_from_legacy_mno_to_btelco() {
     ue.nas.start_detach(SimTime::from_secs(1));
     ue.sap
         .start_attach(SimTime::from_secs(1), "tower-1.example", AGW_SIG);
-    cellbricks::net::run_between(
+    driver.run_to(
         &mut world,
         &mut [
             &mut ue,
@@ -381,7 +382,6 @@ fn dual_stack_ue_roams_from_legacy_mno_to_btelco() {
             &mut telco,
             &mut brokerd,
         ],
-        SimTime::from_secs(1),
         SimTime::from_secs(2),
     );
     assert!(

@@ -1,0 +1,69 @@
+//! Determinism regression for the indexed simulation engine.
+//!
+//! Runs the Fig. 7 local-placement benchmark twice with the same seed,
+//! entirely through [`cellbricks::net::Driver`], and asserts that the
+//! resulting rows are byte-identical (`f64::to_bits`, not approximate)
+//! and that the engine processed exactly the same number of arrival and
+//! poll events and sent exactly the same number of packets. Any change
+//! to event ordering — a different heap tie-break, a stale timer entry
+//! dispatched twice, a dirty endpoint re-queried at the wrong instant —
+//! shows up here as a counter or bit mismatch.
+
+use cellbricks::core::attach_bench::{
+    run_baseline, run_cellbricks, Fig7Row, ProcProfile, PLACEMENTS,
+};
+use cellbricks_telemetry as telemetry;
+
+/// Counters that must advance identically across the two runs.
+const COUNTERS: [&str; 3] = [
+    "net.world.packets_sent",
+    "sim.scheduler.events.arrival",
+    "sim.scheduler.events.poll",
+];
+
+fn counter_values() -> [u64; 3] {
+    COUNTERS.map(|name| telemetry::counter(name).get())
+}
+
+fn fig7_local() -> (Fig7Row, Fig7Row, [u64; 3]) {
+    let before = counter_values();
+    let profile = ProcProfile::default();
+    let bl = run_baseline(PLACEMENTS[0], &profile, 5, 42);
+    let cb = run_cellbricks(PLACEMENTS[0], &profile, 5, 42);
+    let after = counter_values();
+    let deltas = [
+        after[0] - before[0],
+        after[1] - before[1],
+        after[2] - before[2],
+    ];
+    (bl, cb, deltas)
+}
+
+fn bits(row: &Fig7Row) -> [u64; 5] {
+    [
+        row.total_ms.to_bits(),
+        row.ue_ms.to_bits(),
+        row.enb_ms.to_bits(),
+        row.agw_cloud_ms.to_bits(),
+        row.other_ms.to_bits(),
+    ]
+}
+
+#[test]
+fn fig7_replays_bit_identically() {
+    // Telemetry must be on so the scheduler counters actually advance.
+    telemetry::enable();
+
+    let (bl1, cb1, ev1) = fig7_local();
+    let (bl2, cb2, ev2) = fig7_local();
+
+    assert_eq!(bits(&bl1), bits(&bl2), "BL row drifted: {bl1:?} vs {bl2:?}");
+    assert_eq!(bits(&cb1), bits(&cb2), "CB row drifted: {cb1:?} vs {cb2:?}");
+    for (i, name) in COUNTERS.iter().enumerate() {
+        assert_eq!(
+            ev1[i], ev2[i],
+            "{name} delta differs between identical runs"
+        );
+        assert!(ev1[i] > 0, "{name} never advanced — engine not counting");
+    }
+}
