@@ -34,5 +34,14 @@ grep -q '"exp_scale.engine.n1000.events_per_sec"' results/exp_scale.metrics.json
 echo
 echo "==> results/exp_scale.metrics.json OK"
 
+# Chaos gate: every scripted fault class (link flap, burst loss, bTelco
+# crash+restart, broker outage) must converge — the run itself asserts,
+# and the exported metrics must record zero unrecovered phases.
+run cargo run --release -q -p cellbricks-bench --bin exp_chaos -- --smoke
+test -s results/exp_chaos.metrics.json
+grep -q '"fault.unrecovered":0' results/exp_chaos.metrics.json
+echo
+echo "==> results/exp_chaos.metrics.json OK"
+
 echo
 echo "CI gate passed."

@@ -190,6 +190,7 @@ fn build_world(cfg: &EmulationConfig) -> DriveWorld {
             burst_bytes: burst,
         },
         queue_cap: SimDuration::from_millis(600),
+        burst: None,
     };
     let ul_cfg = LinkConfig {
         latency: RADIO_LATENCY,
@@ -199,6 +200,7 @@ fn build_world(cfg: &EmulationConfig) -> DriveWorld {
             TimeOfDay::Night => 20.0e6,
         }),
         queue_cap: SimDuration::from_millis(300),
+        burst: None,
     };
     let radio_link = t.add_link(access, ue, dl_cfg, ul_cfg);
     let wan = t.add_symmetric_link(access, server, LinkConfig::delay_only(WAN_LATENCY));

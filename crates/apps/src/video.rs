@@ -250,6 +250,7 @@ mod tests {
             loss: 0.0,
             shaper: Shaper::FixedRate(rate_bps),
             queue_cap: SimDuration::from_millis(400),
+            burst: None,
         };
         let ul = LinkConfig::delay_only(SimDuration::from_millis(23));
         let l = t.add_link(b, a, dl, ul);

@@ -234,6 +234,7 @@ impl ScaleWorld {
                         SimDuration::from_secs(2)
                     },
                     attach_max_tries: 3,
+                    recovery: cellbricks_core::ue::RecoveryConfig::default(),
                 },
                 rng.fork(),
             ));

@@ -19,7 +19,7 @@ use crate::brokerd::{Brokerd, BrokerdConfig};
 use crate::btelco::{BTelcoGateway, BTelcoGatewayConfig, BrokerContact};
 use crate::principal::{BrokerKeys, TelcoKeys, UeKeys};
 use crate::sap::QosCap;
-use crate::ue::{UeDevice, UeDeviceConfig};
+use crate::ue::{RecoveryConfig, UeDevice, UeDeviceConfig};
 use cellbricks_crypto::cert::CertificateAuthority;
 use cellbricks_epc::agw::{Agw, AgwConfig};
 use cellbricks_epc::aka::SharedKey;
@@ -357,6 +357,7 @@ pub fn run_cellbricks(
             report_interval: SimDuration::from_secs(3_600),
             attach_retry_after: SimDuration::from_secs(2),
             attach_max_tries: 3,
+            recovery: RecoveryConfig::default(),
         },
         rng.fork(),
     );

@@ -247,14 +247,28 @@ pub enum CycleVerdict {
 
 /// The Fig. 5 check: compare the bTelco's and UE's downlink usage for one
 /// aligned cycle, tolerating the UE-observed loss plus a fixed ratio ε.
+///
+/// Everything is scaled by the *trusted* UE figure `dl_u` — never by the
+/// telco's own claim, which would let an inflating telco widen its own
+/// tolerance. The loss allowance is the estimated bytes lost in flight:
+/// the UE received `dl_u` after fraction `loss` was dropped, so the telco
+/// legitimately sent up to `dl_u / (1 − loss)`, i.e. `loss·dl_u/(1−loss)`
+/// more. Under-reporting — including a zero claim from a telco that
+/// crashed and lost its metering state — is symmetric and flagged the
+/// same way as inflation.
 #[must_use]
 pub fn verify_cycle(ue: &TrafficReport, telco: &TrafficReport, epsilon: f64) -> CycleVerdict {
     let dl_t = telco.dl_bytes as f64;
     let dl_u = ue.dl_bytes as f64;
     let loss = f64::from(ue.dl_loss_ppm) / 1e6;
-    let threshold = (loss * dl_t).max(epsilon * dl_t);
+    let lost_est = if loss < 1.0 {
+        loss * dl_u / (1.0 - loss)
+    } else {
+        f64::INFINITY
+    };
+    let threshold = lost_est.max(epsilon * dl_u);
     let diff = (dl_t - dl_u).abs();
-    if diff > threshold && dl_t > 0.0 {
+    if diff > threshold {
         CycleVerdict::Mismatch {
             weight: if dl_u > 0.0 { diff / dl_u } else { 1.0 },
         }
@@ -402,6 +416,47 @@ mod tests {
             verify_cycle(&ue, &telco, 0.005),
             CycleVerdict::Mismatch { .. }
         ));
+    }
+
+    #[test]
+    fn fig5_under_reporting_telco_detected() {
+        let mut ue = sample_report();
+        let mut telco = sample_report();
+        ue.dl_bytes = 1_000_000;
+        ue.dl_loss_ppm = 0;
+        telco.dl_bytes = 600_000; // Telco claims 40% less than delivered.
+        match verify_cycle(&ue, &telco, 0.005) {
+            CycleVerdict::Mismatch { weight } => {
+                assert!((weight - 0.40).abs() < 0.01, "weight {weight}");
+            }
+            CycleVerdict::Consistent => panic!("should flag under-reporting"),
+        }
+    }
+
+    #[test]
+    fn fig5_zero_report_after_metering_loss_detected() {
+        // A telco that crashed and lost its meters reports zero downlink
+        // while the UE observed a megabyte: must mismatch, not slip
+        // through a dl_t-scaled guard.
+        let mut ue = sample_report();
+        let mut telco = sample_report();
+        ue.dl_bytes = 1_000_000;
+        ue.dl_loss_ppm = 0;
+        telco.dl_bytes = 0;
+        assert!(matches!(
+            verify_cycle(&ue, &telco, 0.005),
+            CycleVerdict::Mismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn fig5_both_zero_is_consistent() {
+        let mut ue = sample_report();
+        let mut telco = sample_report();
+        ue.dl_bytes = 0;
+        ue.dl_loss_ppm = 0;
+        telco.dl_bytes = 0;
+        assert_eq!(verify_cycle(&ue, &telco, 0.005), CycleVerdict::Consistent);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use bytes::Bytes;
 use cellbricks_crypto::ed25519::VerifyingKey;
 use cellbricks_crypto::x25519::X25519PublicKey;
 use cellbricks_epc::wire::{Reader, Writer};
-use cellbricks_net::{Endpoint, NodeId, Packet, PacketKind};
+use cellbricks_net::{Endpoint, EndpointFault, NodeId, Packet, PacketKind};
 use cellbricks_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use cellbricks_telemetry as telemetry;
 use std::collections::{HashMap, HashSet};
@@ -173,6 +173,9 @@ pub struct Brokerd {
     pending: EventQueue<Packet>,
     /// The service is single-threaded: requests queue behind this.
     busy_until: SimTime,
+    /// Unreachable before this instant: requests and reports arriving
+    /// earlier are dropped (the sender's retry machinery must cover it).
+    down_until: SimTime,
     rng: SimRng,
     next_session: u64,
     next_alias: u64,
@@ -186,6 +189,8 @@ pub struct Brokerd {
     pub bad_reports: u64,
     /// Billing cycles cross-checked.
     pub cycles_checked: u64,
+    /// Packets dropped while unreachable.
+    pub dropped_while_down: u64,
 }
 
 impl Brokerd {
@@ -201,6 +206,7 @@ impl Brokerd {
             seen_nonces: HashSet::new(),
             pending: EventQueue::new(),
             busy_until: SimTime::ZERO,
+            down_until: SimTime::ZERO,
             rng,
             next_session: 1,
             next_alias: 1,
@@ -209,7 +215,14 @@ impl Brokerd {
             auth_err: 0,
             bad_reports: 0,
             cycles_checked: 0,
+            dropped_while_down: 0,
         }
+    }
+
+    /// True while the broker is unreachable at `now`.
+    #[must_use]
+    pub fn is_down(&self, now: SimTime) -> bool {
+        now < self.down_until
     }
 
     /// Provision a subscriber (issue keys out of band; store publics).
@@ -425,6 +438,10 @@ impl Endpoint for Brokerd {
     }
 
     fn handle_packet(&mut self, now: SimTime, pkt: Packet, _out: &mut Vec<Packet>) {
+        if now < self.down_until {
+            self.dropped_while_down += 1;
+            return;
+        }
         let PacketKind::Control(bytes) = &pkt.kind else {
             return;
         };
@@ -447,12 +464,34 @@ impl Endpoint for Brokerd {
     }
 
     fn poll_at(&self) -> Option<SimTime> {
-        self.pending.peek_time()
+        // While down, staged replies only leave once the service is back.
+        self.pending.peek_time().map(|t| t.max(self.down_until))
     }
 
     fn poll(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        if now < self.down_until {
+            return;
+        }
         while let Some((_, pkt)) = self.pending.pop_due(now) {
             out.push(pkt);
+        }
+    }
+
+    fn inject_fault(&mut self, now: SimTime, fault: &EndpointFault) {
+        match *fault {
+            EndpointFault::Unavailable { until } => {
+                telemetry::counter("core.brokerd.unavailable_windows").inc();
+                self.down_until = until.max(self.down_until);
+            }
+            EndpointFault::CrashRestart { restart_at } => {
+                // The subscriber DB and billing sessions are durable (the
+                // broker is a cloud service over persistent storage); only
+                // the in-memory request queue dies with the process.
+                telemetry::counter("core.brokerd.crashes").inc();
+                self.pending = EventQueue::new();
+                self.busy_until = SimTime::ZERO;
+                self.down_until = restart_at.max(now);
+            }
         }
     }
 }

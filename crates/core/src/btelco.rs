@@ -16,9 +16,10 @@ use cellbricks_crypto::ed25519::VerifyingKey;
 use cellbricks_crypto::x25519::X25519PublicKey;
 use cellbricks_epc::gateway::{BearerTable, IpPool};
 use cellbricks_epc::nas::NasMessage;
-use cellbricks_net::{Endpoint, NodeId, Packet, PacketKind};
+use cellbricks_net::{Endpoint, EndpointFault, NodeId, Packet, PacketKind};
 use cellbricks_sim::{EventQueue, SimDuration, SimRng, SimTime};
-use std::collections::HashMap;
+use cellbricks_telemetry as telemetry;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 /// How a bTelco reaches (and seals reports to) a broker.
@@ -78,11 +79,16 @@ pub struct BTelcoGateway {
     pool: IpPool,
     /// Active bearers (public for harness inspection).
     pub bearers: BearerTable,
-    sessions: HashMap<Ipv4Addr, SessionState>,
+    /// Keyed and iterated in address order (report emission order must be
+    /// deterministic).
+    sessions: BTreeMap<Ipv4Addr, SessionState>,
     pending_attach: HashMap<u64, PendingAttach>,
     pending: EventQueue<Packet>,
     next_req_id: u64,
     next_report_at: SimTime,
+    /// The process is down (crashed or unreachable) before this instant:
+    /// everything arriving earlier is dropped on the floor.
+    down_until: SimTime,
     rng: SimRng,
     /// Accumulated control-plane processing time (Fig. 7 accounting).
     pub proc_time: SimDuration,
@@ -92,6 +98,10 @@ pub struct BTelcoGateway {
     pub reject_count: u64,
     /// Data packets dropped for lack of a bearer.
     pub no_bearer_drops: u64,
+    /// Injected crash+restart faults taken.
+    pub crashes: u64,
+    /// Packets dropped while crashed/unreachable.
+    pub dropped_while_down: u64,
 }
 
 impl BTelcoGateway {
@@ -105,17 +115,32 @@ impl BTelcoGateway {
             cfg,
             pool,
             bearers: BearerTable::new(),
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             pending_attach: HashMap::new(),
             pending: EventQueue::new(),
             next_req_id: 1,
             next_report_at,
+            down_until: SimTime::ZERO,
             rng,
             proc_time: SimDuration::ZERO,
             attach_count: 0,
             reject_count: 0,
             no_bearer_drops: 0,
+            crashes: 0,
+            dropped_while_down: 0,
         }
+    }
+
+    /// True while the gateway is crashed or unreachable at `now`.
+    #[must_use]
+    pub fn is_down(&self, now: SimTime) -> bool {
+        now < self.down_until
+    }
+
+    /// Number of live billing sessions.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
     }
 
     /// The /16 this gateway allocates UE addresses from.
@@ -336,6 +361,10 @@ impl Endpoint for BTelcoGateway {
     }
 
     fn handle_packet(&mut self, now: SimTime, pkt: Packet, out: &mut Vec<Packet>) {
+        if now < self.down_until {
+            self.dropped_while_down += 1;
+            return;
+        }
         match &pkt.kind {
             PacketKind::Control(bytes) => {
                 if pkt.dst != self.cfg.sig_ip {
@@ -399,9 +428,14 @@ impl Endpoint for BTelcoGateway {
             (a, None) => a,
             (None, b) => b,
         }
+        // While down, timers only fire once the process is back up.
+        .map(|t| t.max(self.down_until))
     }
 
     fn poll(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        if now < self.down_until {
+            return;
+        }
         if now >= self.next_report_at {
             let ips: Vec<Ipv4Addr> = self.sessions.keys().copied().collect();
             for ip in ips {
@@ -411,6 +445,31 @@ impl Endpoint for BTelcoGateway {
         }
         while let Some((_, pkt)) = self.pending.pop_due(now) {
             out.push(pkt);
+        }
+    }
+
+    fn inject_fault(&mut self, now: SimTime, fault: &EndpointFault) {
+        match *fault {
+            EndpointFault::CrashRestart { restart_at } => {
+                // Volatile state dies with the process: sessions, bearers,
+                // metering counters, in-flight attach relays and staged
+                // output. The address pool restarts too — a recovering UE
+                // gets a fresh allocation. The UE-side sealed meter is
+                // what keeps billing honest across this (paper §4.3).
+                self.crashes += 1;
+                telemetry::counter("core.btelco.crashes").inc();
+                self.sessions.clear();
+                self.bearers = BearerTable::new();
+                self.pending_attach.clear();
+                self.pending = EventQueue::new();
+                self.pool = IpPool::new(self.cfg.pool_base);
+                self.down_until = restart_at.max(now);
+                self.next_report_at = self.down_until + self.cfg.report_interval;
+            }
+            EndpointFault::Unavailable { until } => {
+                telemetry::counter("core.btelco.unavailable_windows").inc();
+                self.down_until = until.max(self.down_until);
+            }
         }
     }
 }

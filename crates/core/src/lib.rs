@@ -41,4 +41,4 @@ pub use btelco::{BTelcoGateway, BTelcoGatewayConfig};
 pub use principal::{BrokerKeys, Identity, TelcoKeys, UeKeys};
 pub use reputation::ReputationSystem;
 pub use sap::{QosCap, QosInfo};
-pub use ue::{UeDevice, UeDeviceConfig};
+pub use ue::{RecoveryConfig, UeDevice, UeDeviceConfig};

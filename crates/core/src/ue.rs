@@ -47,6 +47,42 @@ pub struct UeDeviceConfig {
     pub attach_retry_after: SimDuration,
     /// Attempts before giving up on a target bTelco.
     pub attach_max_tries: u32,
+    /// Recovery behaviour under faults (backoff shape, watchdog).
+    pub recovery: RecoveryConfig,
+}
+
+/// How the UE recovers from lost signalling and dead gateways.
+///
+/// The defaults reproduce the pre-fault-injection behaviour exactly:
+/// the first retry still fires `attach_retry_after` after the request
+/// (factor^0 = 1), jitter 0 draws nothing from the rng, and the
+/// inactivity watchdog is disabled.
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    /// Multiplier applied to the retry window per attempt
+    /// (capped exponential backoff — a fixed window is a retry storm
+    /// under a long outage).
+    pub backoff_factor: f64,
+    /// Upper bound on the retry window.
+    pub backoff_cap: SimDuration,
+    /// Randomize each window by ±this fraction (desynchronizes UEs
+    /// hammering a recovering gateway). `0.0` draws nothing from the rng.
+    pub jitter: f64,
+    /// Re-attach to the last target if no downlink arrives for this long
+    /// while attached — the UE-side detector for a bTelco that crashed
+    /// and lost the session. `None` disables the watchdog.
+    pub reattach_after: Option<SimDuration>,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            backoff_factor: 2.0,
+            backoff_cap: SimDuration::from_secs(30),
+            jitter: 0.0,
+            reattach_after: None,
+        }
+    }
 }
 
 struct PendingAttach {
@@ -55,6 +91,8 @@ struct PendingAttach {
     agw_sig: Ipv4Addr,
     started: SimTime,
     retries_left: u32,
+    /// Requests already issued for this attach (backoff exponent).
+    attempt: u32,
 }
 
 struct Serving {
@@ -97,6 +135,17 @@ pub struct UeDevice {
     pub proc_time: SimDuration,
     /// Attach requests re-sent after signalling loss.
     pub attach_retries: u64,
+    /// When the last downlink data packet arrived (watchdog reference).
+    last_dl_at: SimTime,
+    /// The last attach target, for watchdog-driven re-attach.
+    last_target: Option<(String, Ipv4Addr)>,
+    /// When the watchdog declared the serving telco dead (recovery-latency
+    /// measurement anchor); cleared on the next successful attach.
+    recovering_since: Option<SimTime>,
+    /// Scheduled fresh attach cycle after retry exhaustion.
+    reattach_at: Option<SimTime>,
+    /// Times the inactivity watchdog forced a re-attach.
+    pub watchdog_reattaches: u64,
 }
 
 impl UeDevice {
@@ -121,6 +170,11 @@ impl UeDevice {
             attaches: 0,
             proc_time: SimDuration::ZERO,
             attach_retries: 0,
+            last_dl_at: SimTime::ZERO,
+            last_target: None,
+            recovering_since: None,
+            reattach_at: None,
+            watchdog_reattaches: 0,
         }
     }
 
@@ -147,25 +201,54 @@ impl UeDevice {
         self.proc_time = SimDuration::ZERO;
     }
 
+    /// Replace the recovery configuration (harnesses that opt a built
+    /// device into chaos-hardened behaviour).
+    pub fn set_recovery(&mut self, recovery: RecoveryConfig) {
+        self.cfg.recovery = recovery;
+    }
+
     /// Begin a SAP attach to the bTelco named `telco_name`, reachable at
     /// `agw_sig`. Latency is measured from this call to verified accept.
     /// Lost signalling is retried with a *fresh* request (fresh nonce —
     /// the broker rejects replays) up to `attach_max_tries` times.
     pub fn start_attach(&mut self, now: SimTime, telco_name: &str, agw_sig: Ipv4Addr) {
+        self.last_target = Some((telco_name.to_string(), agw_sig));
+        self.reattach_at = None;
         self.attach = Some(PendingAttach {
             nonce: [0; 16], // Filled by issue_attach_request.
             id_t: Identity::of_name(telco_name),
             agw_sig,
             started: now,
             retries_left: self.cfg.attach_max_tries.saturating_sub(1),
+            attempt: 0,
         });
         self.issue_attach_request(now);
     }
 
+    /// The retry window for the given attempt index: capped exponential
+    /// backoff with optional ± jitter. Jitter `0.0` draws nothing, so
+    /// configurations without it keep the rng stream untouched.
+    fn retry_delay(&mut self, attempt: u32) -> SimDuration {
+        let r = &self.cfg.recovery;
+        let cap = r.backoff_cap.as_secs_f64();
+        // Exponent clamped: past ~64 doublings the cap has long won.
+        let mut d = self.cfg.attach_retry_after.as_secs_f64()
+            * r.backoff_factor
+                .powi(i32::try_from(attempt.min(64)).expect("small"));
+        d = d.min(cap);
+        if r.jitter > 0.0 {
+            d *= 1.0 + r.jitter * (2.0 * self.rng.unit() - 1.0);
+        }
+        SimDuration::from_secs_f64(d)
+    }
+
     fn issue_attach_request(&mut self, now: SimTime) {
-        let Some(pending) = self.attach.as_mut() else {
+        let Some(attempt) = self.attach.as_ref().map(|p| p.attempt) else {
             return;
         };
+        let window = self.retry_delay(attempt);
+        let pending = self.attach.as_mut().expect("checked above");
+        pending.attempt += 1;
         let (req, nonce) = sap::ue_build_request(
             &self.cfg.keys,
             &self.cfg.broker_name,
@@ -181,7 +264,7 @@ impl UeDevice {
             payload: Bytes::from(req.encode().to_vec()),
         };
         self.proc_time = self.proc_time + self.cfg.proc_delay;
-        self.attach_deadline = Some(now + self.cfg.attach_retry_after);
+        self.attach_deadline = Some(now + window);
         self.pending.push(
             now + self.cfg.proc_delay,
             Packet::control(self.cfg.ue_sig, agw_sig, msg.encode()),
@@ -203,6 +286,13 @@ impl UeDevice {
                 ),
             );
         }
+        // Abandon any in-flight attach too: leaving the retry timer armed
+        // kept the UE re-issuing SAP requests (fresh nonces) to a telco it
+        // deliberately left. `handover` still works — `start_attach`
+        // re-arms everything for the new target.
+        self.attach = None;
+        self.attach_deadline = None;
+        self.reattach_at = None;
         self.meter = None;
         self.next_report_at = None;
         self.host.invalidate_addr(now);
@@ -247,6 +337,12 @@ impl UeDevice {
         ) {
             Ok(body) => {
                 self.attach_deadline = None;
+                self.reattach_at = None;
+                self.last_dl_at = now;
+                if let Some(since) = self.recovering_since.take() {
+                    telemetry::histogram("fault.recovery.reattach_ns")
+                        .record(now.since(since).as_nanos());
+                }
                 let latency = now.since(pending.started);
                 self.last_attach_latency = Some(latency);
                 self.attach_latency_ms.record(latency.as_millis_f64());
@@ -313,6 +409,7 @@ impl Endpoint for UeDevice {
             }
             _ => {
                 // Data plane: baseband accounting, then the host stack.
+                self.last_dl_at = now;
                 if let Some(meter) = &mut self.meter {
                     meter.account_dl(u64::from(pkt.wire_size()));
                 }
@@ -330,11 +427,17 @@ impl Endpoint for UeDevice {
     }
 
     fn poll_at(&self) -> Option<SimTime> {
+        let watchdog = match (self.cfg.recovery.reattach_after, &self.serving) {
+            (Some(after), Some(_)) => Some(self.last_dl_at + after),
+            _ => None,
+        };
         [
             self.pending.peek_time(),
             self.deferred.peek_time(),
             self.next_report_at,
             self.attach_deadline,
+            watchdog,
+            self.reattach_at,
             self.host.poll_at(),
         ]
         .into_iter()
@@ -343,6 +446,31 @@ impl Endpoint for UeDevice {
     }
 
     fn poll(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        // Inactivity watchdog: attached but no downlink for the
+        // configured window — the serving telco likely crashed and lost
+        // the session (it will never page us again). Detach locally and
+        // run a fresh SAP attach against the same target.
+        if let (Some(after), Some(_)) = (self.cfg.recovery.reattach_after, self.serving.as_ref()) {
+            if now >= self.last_dl_at + after {
+                self.watchdog_reattaches += 1;
+                telemetry::counter("core.ue.watchdog_reattach").inc();
+                if self.recovering_since.is_none() {
+                    self.recovering_since = Some(now);
+                }
+                let (name, agw_sig) = self.last_target.clone().expect("serving implies a target");
+                self.detach(now);
+                self.start_attach(now, &name, agw_sig);
+            }
+        }
+        // Scheduled fresh attach cycle (armed after retry exhaustion).
+        if let Some(at) = self.reattach_at {
+            if now >= at && self.attach.is_none() && self.serving.is_none() {
+                self.reattach_at = None;
+                if let Some((name, agw_sig)) = self.last_target.clone() {
+                    self.start_attach(now, &name, agw_sig);
+                }
+            }
+        }
         // Attach retry: the request or its answer was lost.
         if let Some(deadline) = self.attach_deadline {
             if now >= deadline {
@@ -356,6 +484,13 @@ impl Endpoint for UeDevice {
                         self.attach = None;
                         self.attach_deadline = None;
                         self.failures += 1;
+                        // While in fault recovery, keep trying: arm a
+                        // fresh attach cycle one capped window out rather
+                        // than stranding the UE forever.
+                        if self.cfg.recovery.reattach_after.is_some() && self.last_target.is_some()
+                        {
+                            self.reattach_at = Some(now + self.cfg.recovery.backoff_cap);
+                        }
                     }
                 }
             }

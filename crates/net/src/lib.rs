@@ -16,12 +16,16 @@
 //! * [`world`] — the packet mover: [`NetWorld`] and the [`Endpoint`]
 //!   trait,
 //! * [`engine`] — the indexed simulation engine: the [`Driver`] that
-//!   wakes endpoints through a timer index instead of a per-event scan.
+//!   wakes endpoints through a timer index instead of a per-event scan,
+//! * [`fault`] — deterministic fault injection: the [`FaultPlan`]
+//!   scripting link outages, burst-loss windows and endpoint
+//!   crash/unavailability on the virtual clock.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod link;
 pub mod packet;
 pub mod policy;
@@ -30,6 +34,7 @@ pub mod wire;
 pub mod world;
 
 pub use engine::{run_between, run_until, Driver};
+pub use fault::{BurstLoss, EndpointFault, FaultAction, FaultPlan};
 pub use link::{LinkConfig, RateSchedule, Shaper};
 pub use packet::{Endpoint as EndpointAddr, MpSignal, Packet, PacketKind, TcpFlags, TcpSegment};
 pub use policy::{CarrierPolicy, TimeOfDay};

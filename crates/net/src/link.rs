@@ -8,6 +8,7 @@
 //! the steady-state rate right after a handover — the "spike" the paper
 //! observes in Fig. 8 and the >100% relative performance in Fig. 9.
 
+use crate::fault::BurstLoss;
 use cellbricks_sim::{SimDuration, SimTime};
 
 /// The service rate of a shaper as a function of time.
@@ -135,6 +136,11 @@ pub struct LinkConfig {
     /// Drop packets that would wait longer than this in the queue
     /// (drop-tail expressed as a sojourn cap).
     pub queue_cap: SimDuration,
+    /// Optional Gilbert–Elliott burst-loss model; while installed it
+    /// replaces the uniform `loss` probability. Fault plans install and
+    /// remove it at runtime via
+    /// [`NetWorld::set_burst_loss`](crate::world::NetWorld::set_burst_loss).
+    pub burst: Option<BurstLoss>,
 }
 
 impl LinkConfig {
@@ -146,6 +152,7 @@ impl LinkConfig {
             loss: 0.0,
             shaper: Shaper::None,
             queue_cap: SimDuration::from_secs(10),
+            burst: None,
         }
     }
 
@@ -157,6 +164,7 @@ impl LinkConfig {
             loss: 0.0,
             shaper: Shaper::FixedRate(rate_bps),
             queue_cap,
+            burst: None,
         }
     }
 
@@ -164,6 +172,13 @@ impl LinkConfig {
     #[must_use]
     pub fn with_loss(mut self, loss: f64) -> Self {
         self.loss = loss;
+        self
+    }
+
+    /// Install a burst-loss model from the start.
+    #[must_use]
+    pub fn with_burst(mut self, model: BurstLoss) -> Self {
+        self.burst = Some(model);
         self
     }
 }
@@ -179,6 +194,8 @@ pub(crate) struct Direction {
     bucket_at: SimTime,
     /// Packets enqueued before this instant are dropped (radio outage).
     pub(crate) outage_until: SimTime,
+    /// Gilbert–Elliott chain state: currently in the bad state.
+    burst_bad: bool,
     /// Counters.
     pub(crate) delivered: u64,
     pub(crate) dropped: u64,
@@ -194,6 +211,8 @@ pub(crate) enum DropCause {
     Outage,
     /// Random loss.
     Loss,
+    /// Loss while the Gilbert–Elliott chain was in its bad state.
+    Burst,
     /// Sojourn would exceed the drop-tail queue cap.
     QueueCap,
     /// The shaper can never serve the packet (zero rate).
@@ -221,22 +240,64 @@ impl Direction {
             bucket_level: initial_level,
             bucket_at: SimTime::ZERO,
             outage_until: SimTime::ZERO,
+            burst_bad: false,
             delivered: 0,
             dropped: 0,
             policer_hits: 0,
         }
     }
 
+    /// True if a burst-loss model is currently installed (the caller must
+    /// then supply a `burst_draw` to [`offer`](Direction::offer)).
+    pub(crate) fn burst_installed(&self) -> bool {
+        self.config.burst.is_some()
+    }
+
+    /// Install or remove the burst-loss model; the chain restarts in the
+    /// good state.
+    pub(crate) fn set_burst_loss(&mut self, model: Option<BurstLoss>) {
+        self.config.burst = model;
+        self.burst_bad = false;
+    }
+
     /// Offer a packet of `size` bytes at `now`; `loss_draw` is a uniform
-    /// [0,1) sample used for the random-loss decision.
-    pub(crate) fn offer(&mut self, now: SimTime, size: u32, loss_draw: f64) -> Offer {
+    /// [0,1) sample used for the loss decision, and `burst_draw` a second
+    /// sample stepping the Gilbert–Elliott chain (required iff a burst
+    /// model is installed — drawn separately so links without one consume
+    /// exactly one sample per offer, keeping no-fault runs byte-identical).
+    pub(crate) fn offer(
+        &mut self,
+        now: SimTime,
+        size: u32,
+        loss_draw: f64,
+        burst_draw: Option<f64>,
+    ) -> Offer {
         if now < self.outage_until {
             self.dropped += 1;
             return Offer::Drop(DropCause::Outage);
         }
-        if loss_draw < self.config.loss {
+        let loss_p = match (&self.config.burst, burst_draw) {
+            (Some(m), Some(step)) => {
+                self.burst_bad = if self.burst_bad {
+                    step >= m.p_exit
+                } else {
+                    step < m.p_enter
+                };
+                if self.burst_bad {
+                    m.loss_bad
+                } else {
+                    m.loss_good
+                }
+            }
+            _ => self.config.loss,
+        };
+        if loss_draw < loss_p {
             self.dropped += 1;
-            return Offer::Drop(DropCause::Loss);
+            return Offer::Drop(if self.config.burst.is_some() && self.burst_bad {
+                DropCause::Burst
+            } else {
+                DropCause::Loss
+            });
         }
         let start = self.busy_until.max(now);
         // Compute the service-completion time without committing any
@@ -346,7 +407,7 @@ mod tests {
     #[test]
     fn delay_only_link_adds_latency() {
         let mut d = Direction::new(LinkConfig::delay_only(ms(10)));
-        match d.offer(SimTime::from_secs(1), 1500, 0.9) {
+        match d.offer(SimTime::from_secs(1), 1500, 0.9, None) {
             Offer::Deliver(t) => assert_eq!(t, SimTime::from_secs(1) + ms(10)),
             Offer::Drop(_) => panic!("dropped"),
         }
@@ -361,8 +422,8 @@ mod tests {
             SimDuration::from_secs(100),
         ));
         let t0 = SimTime::ZERO;
-        let a = d.offer(t0, 1000, 0.9);
-        let b = d.offer(t0, 1000, 0.9);
+        let a = d.offer(t0, 1000, 0.9, None);
+        let b = d.offer(t0, 1000, 0.9, None);
         assert_eq!(a, Offer::Deliver(SimTime::from_secs(1)));
         assert_eq!(b, Offer::Deliver(SimTime::from_secs(2)));
     }
@@ -375,12 +436,12 @@ mod tests {
             SimDuration::from_secs(1),
         ));
         assert!(matches!(
-            d.offer(SimTime::ZERO, 1000, 0.9),
+            d.offer(SimTime::ZERO, 1000, 0.9, None),
             Offer::Deliver(_)
         ));
         // Second packet would wait 1s then serialize 1s -> sojourn 2s > cap.
         assert_eq!(
-            d.offer(SimTime::ZERO, 1000, 0.9),
+            d.offer(SimTime::ZERO, 1000, 0.9, None),
             Offer::Drop(DropCause::QueueCap)
         );
         assert_eq!(d.dropped, 1);
@@ -390,11 +451,11 @@ mod tests {
     fn loss_draw_applies() {
         let mut d = Direction::new(LinkConfig::delay_only(ms(1)).with_loss(0.5));
         assert_eq!(
-            d.offer(SimTime::ZERO, 100, 0.4),
+            d.offer(SimTime::ZERO, 100, 0.4, None),
             Offer::Drop(DropCause::Loss)
         );
         assert!(matches!(
-            d.offer(SimTime::ZERO, 100, 0.6),
+            d.offer(SimTime::ZERO, 100, 0.6, None),
             Offer::Deliver(_)
         ));
     }
@@ -404,11 +465,50 @@ mod tests {
         let mut d = Direction::new(LinkConfig::delay_only(ms(1)));
         d.outage_until = SimTime::from_secs(5);
         assert_eq!(
-            d.offer(SimTime::from_secs(4), 100, 0.9),
+            d.offer(SimTime::from_secs(4), 100, 0.9, None),
             Offer::Drop(DropCause::Outage)
         );
         assert!(matches!(
-            d.offer(SimTime::from_secs(5), 100, 0.9),
+            d.offer(SimTime::from_secs(5), 100, 0.9, None),
+            Offer::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn burst_model_replaces_uniform_loss() {
+        let model = BurstLoss {
+            p_enter: 0.5,
+            p_exit: 0.5,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let mut d = Direction::new(LinkConfig::delay_only(ms(1)).with_burst(model));
+        // step 0.9 >= p_enter: stay good, loss_good = 0 -> deliver.
+        assert!(matches!(
+            d.offer(SimTime::ZERO, 100, 0.0, Some(0.9)),
+            Offer::Deliver(_)
+        ));
+        // step 0.1 < p_enter: enter bad, loss_bad = 1 -> burst drop.
+        assert_eq!(
+            d.offer(SimTime::ZERO, 100, 0.0, Some(0.1)),
+            Offer::Drop(DropCause::Burst)
+        );
+        // step 0.9 >= p_exit: stay bad -> still dropping.
+        assert_eq!(
+            d.offer(SimTime::ZERO, 100, 0.0, Some(0.9)),
+            Offer::Drop(DropCause::Burst)
+        );
+        // step 0.1 < p_exit: leave bad -> deliver again.
+        assert!(matches!(
+            d.offer(SimTime::ZERO, 100, 0.0, Some(0.1)),
+            Offer::Deliver(_)
+        ));
+        // Removing the model resets the chain and restores uniform loss.
+        d.set_burst_loss(None);
+        assert!(!d.burst_installed());
+        assert!(!d.burst_bad);
+        assert!(matches!(
+            d.offer(SimTime::ZERO, 100, 0.0, None),
             Offer::Deliver(_)
         ));
     }
@@ -424,19 +524,20 @@ mod tests {
                 burst_bytes: 2_000.0,
             },
             queue_cap: SimDuration::from_secs(100),
+            burst: None,
         };
         let mut d = Direction::new(cfg);
         let t0 = SimTime::ZERO;
-        assert_eq!(d.offer(t0, 1000, 0.9), Offer::Deliver(t0));
-        assert_eq!(d.offer(t0, 1000, 0.9), Offer::Deliver(t0));
+        assert_eq!(d.offer(t0, 1000, 0.9, None), Offer::Deliver(t0));
+        assert_eq!(d.offer(t0, 1000, 0.9, None), Offer::Deliver(t0));
         // Bucket empty: third packet waits a full second of refill.
         assert_eq!(
-            d.offer(t0, 1000, 0.9),
+            d.offer(t0, 1000, 0.9, None),
             Offer::Deliver(SimTime::from_secs(1))
         );
         // Fourth waits behind the third.
         assert_eq!(
-            d.offer(t0, 1000, 0.9),
+            d.offer(t0, 1000, 0.9, None),
             Offer::Deliver(SimTime::from_secs(2))
         );
     }
@@ -451,15 +552,16 @@ mod tests {
                 burst_bytes: 1_500.0,
             },
             queue_cap: SimDuration::from_secs(100),
+            burst: None,
         };
         let mut d = Direction::new(cfg);
         assert_eq!(
-            d.offer(SimTime::ZERO, 1500, 0.9),
+            d.offer(SimTime::ZERO, 1500, 0.9, None),
             Offer::Deliver(SimTime::ZERO)
         );
         // After 1.5s idle the bucket is full again (capped at burst).
         let t = SimTime::from_secs_f64(2.0);
-        assert_eq!(d.offer(t, 1500, 0.9), Offer::Deliver(t));
+        assert_eq!(d.offer(t, 1500, 0.9, None), Offer::Deliver(t));
     }
 }
 
@@ -487,6 +589,7 @@ mod proptests {
                     burst_bytes: burst,
                 },
                 queue_cap: SimDuration::from_secs(1000),
+                burst: None,
             };
             let mut d = Direction::new(cfg);
             // Offers must be time-ordered.
@@ -496,7 +599,7 @@ mod proptests {
             let mut last_delivery = SimTime::ZERO;
             for (t_ms, size) in offers {
                 let now = SimTime::from_nanos(t_ms * 1_000_000);
-                if let Offer::Deliver(at) = d.offer(now, size, 0.9) {
+                if let Offer::Deliver(at) = d.offer(now, size, 0.9, None) {
                     delivered_bytes += f64::from(size);
                     prop_assert!(at >= now, "no time travel");
                     prop_assert!(at >= last_delivery, "FIFO order");
@@ -528,7 +631,7 @@ mod proptests {
             let mut expected = 0.0f64;
             for size in sizes {
                 expected += f64::from(size) * 8.0 / rate;
-                match d.offer(SimTime::ZERO, size, 0.9) {
+                match d.offer(SimTime::ZERO, size, 0.9, None) {
                     Offer::Deliver(at) => {
                         let err = (at.as_secs_f64() - expected).abs();
                         prop_assert!(err < 1e-6, "at {at}, expected {expected}");

@@ -6,6 +6,7 @@
 //! Protocol logic lives in [`Endpoint`] implementations — hosts, routers,
 //! gateways — driven by the [`crate::engine::Driver`] engine.
 
+use crate::fault::{BurstLoss, EndpointFault};
 use crate::link::{DropCause, Offer};
 use crate::packet::Packet;
 use crate::topology::{LinkId, NodeId, Topology};
@@ -28,6 +29,10 @@ pub trait Endpoint {
     fn poll_at(&self) -> Option<SimTime>;
     /// Run timers due at `now`.
     fn poll(&mut self, now: SimTime, out: &mut Vec<Packet>);
+    /// A scripted fault hits this endpoint (see
+    /// [`FaultPlan`](crate::fault::FaultPlan)). The default implementation
+    /// ignores it — infrastructure endpoints opt in by overriding.
+    fn inject_fault(&mut self, _now: SimTime, _fault: &EndpointFault) {}
 }
 
 struct Arrival {
@@ -61,6 +66,7 @@ struct WorldMetrics {
     no_route: telemetry::Counter,
     drop_outage: telemetry::Counter,
     drop_loss: telemetry::Counter,
+    drop_burst: telemetry::Counter,
     drop_queue_cap: telemetry::Counter,
     drop_policer: telemetry::Counter,
     policer_hits: telemetry::Counter,
@@ -76,6 +82,7 @@ impl WorldMetrics {
             no_route: telemetry::counter("net.world.no_route_drops"),
             drop_outage: telemetry::counter("net.link.drops.outage"),
             drop_loss: telemetry::counter("net.link.drops.loss"),
+            drop_burst: telemetry::counter("net.link.drops.burst"),
             drop_queue_cap: telemetry::counter("net.link.drops.queue_cap"),
             drop_policer: telemetry::counter("net.link.drops.policer"),
             policer_hits: telemetry::counter("net.link.policer_hits"),
@@ -131,8 +138,11 @@ impl NetWorld {
         let draw = self.rng.unit();
         let l = &mut self.topology.links[link.0];
         let dir = if l.a == from { &mut l.ab } else { &mut l.ba };
+        // Links without a burst model consume exactly one sample per send,
+        // so installing one elsewhere never perturbs this link's stream.
+        let burst_draw = dir.burst_installed().then(|| self.rng.unit());
         let policer_before = dir.policer_hits;
-        let offer = dir.offer(now, size, draw);
+        let offer = dir.offer(now, size, draw, burst_draw);
         if dir.policer_hits != policer_before {
             self.metrics.policer_hits.inc();
         }
@@ -147,6 +157,7 @@ impl NetWorld {
                 match cause {
                     DropCause::Outage => self.metrics.drop_outage.inc(),
                     DropCause::Loss => self.metrics.drop_loss.inc(),
+                    DropCause::Burst => self.metrics.drop_burst.inc(),
                     DropCause::QueueCap => self.metrics.drop_queue_cap.inc(),
                     DropCause::Policer => self.metrics.drop_policer.inc(),
                 }
@@ -180,6 +191,14 @@ impl NetWorld {
         let l = &mut self.topology.links[link.0];
         l.ab.outage_until = until;
         l.ba.outage_until = until;
+    }
+
+    /// Install (`Some`) or remove (`None`) a Gilbert–Elliott burst-loss
+    /// model on both directions of `link`; the chains restart good.
+    pub fn set_burst_loss(&mut self, link: LinkId, model: Option<BurstLoss>) {
+        let l = &mut self.topology.links[link.0];
+        l.ab.set_burst_loss(model);
+        l.ba.set_burst_loss(model);
     }
 
     /// Delivery/drop counters for `link`.

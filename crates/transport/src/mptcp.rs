@@ -286,6 +286,12 @@ impl MpConn {
         }
         self.local_addr = Some(addr);
         self.addr_lost_at = None;
+        // Same address re-assigned (e.g. re-attach after a bTelco
+        // restart): withdrawing it via REMOVE_ADDR would make the peer
+        // kill the very subflow the recovery join is about to establish.
+        if self.remove_addr_pending == Some(addr) {
+            self.remove_addr_pending = None;
+        }
         if let Some(due) = self.worker_due {
             if now >= due {
                 self.start_join(now);

@@ -115,3 +115,91 @@ fn forged_ue_report_marks_user_suspect() {
     let user = w.ue_identity();
     assert!(w.brokerd.reputation.is_suspect(user));
 }
+
+#[test]
+fn under_reporting_btelco_loses_admission() {
+    // A telco claiming *less* than delivered is just as dishonest as an
+    // inflating one (it could be laundering usage onto another session, or
+    // simply broken). The old dl_t-scaled check waved this through.
+    let mut w = world_with_traffic(15, 0.4);
+    w.run_to(SimTime::from_secs(33));
+    let telco = w.ue.serving_telco().unwrap();
+    assert!(
+        w.brokerd.reputation.mismatches(telco) >= 3,
+        "mismatches {}",
+        w.brokerd.reputation.mismatches(telco)
+    );
+    assert!(
+        !w.brokerd.reputation.admit(telco),
+        "under-reporting telco must lose admission; score {}",
+        w.brokerd.reputation.score(telco)
+    );
+}
+
+#[test]
+fn zero_reporting_btelco_detected() {
+    // The crash-shaped failure: the telco reports zero downlink while the
+    // UE's sealed meter shows real traffic. Every checked cycle must
+    // mismatch and settlement must follow the UE figure.
+    let mut w = world_with_traffic(16, 0.0);
+    w.run_to(SimTime::from_secs(22));
+    let telco = w.ue.serving_telco().unwrap();
+    assert!(w.brokerd.cycles_checked >= 3);
+    assert!(
+        w.brokerd.reputation.mismatches(telco) >= 3,
+        "mismatches {}",
+        w.brokerd.reputation.mismatches(telco)
+    );
+    let session = w.ue.session_id().unwrap();
+    let (settled_dl, _) = w.brokerd.settled_bytes(session).unwrap();
+    assert!(
+        settled_dl > 100_000,
+        "settlement must fall back to the UE figure, got {settled_dl}"
+    );
+    assert!(!w.brokerd.reputation.admit(telco));
+}
+
+mod verify_cycle_symmetry {
+    use cellbricks::core::billing::{verify_cycle, CycleVerdict, TrafficReport};
+    use proptest::prelude::*;
+
+    fn report(dl_bytes: u64) -> TrafficReport {
+        TrafficReport {
+            session_id: 1,
+            seq: 0,
+            ul_bytes: 0,
+            dl_bytes,
+            duration_ms: 5_000,
+            dl_loss_ppm: 0,
+            ul_loss_ppm: 0,
+            avg_dl_kbps: 0,
+            avg_ul_kbps: 0,
+            delay_ms: 0,
+        }
+    }
+
+    proptest! {
+        /// With no UE-observed loss, the check treats a claim of
+        /// `dl_u + d` exactly like a claim of `dl_u - d`: the threshold
+        /// scales off the trusted figure only, so inflation and deflation
+        /// are symmetric (same verdict, same weight).
+        #[test]
+        fn prop_inflation_deflation_symmetric(
+            dl_u in 1u64..1_000_000_000,
+            delta_ppm in 0u64..1_000_000,
+        ) {
+            let d = dl_u * delta_ppm / 1_000_000;
+            let ue = report(dl_u);
+            let over = verify_cycle(&ue, &report(dl_u + d), 0.05);
+            let under = verify_cycle(&ue, &report(dl_u - d), 0.05);
+            match (over, under) {
+                (CycleVerdict::Consistent, CycleVerdict::Consistent) => {}
+                (
+                    CycleVerdict::Mismatch { weight: wo },
+                    CycleVerdict::Mismatch { weight: wu },
+                ) => prop_assert!((wo - wu).abs() < 1e-9),
+                (a, b) => prop_assert!(false, "asymmetric verdicts: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

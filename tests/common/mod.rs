@@ -7,7 +7,7 @@ use cellbricks::core::brokerd::{Brokerd, BrokerdConfig};
 use cellbricks::core::btelco::{BTelcoGateway, BTelcoGatewayConfig, BrokerContact};
 use cellbricks::core::principal::{BrokerKeys, TelcoKeys, UeKeys};
 use cellbricks::core::sap::QosCap;
-use cellbricks::core::ue::{UeDevice, UeDeviceConfig};
+use cellbricks::core::ue::{RecoveryConfig, UeDevice, UeDeviceConfig};
 use cellbricks::crypto::cert::CertificateAuthority;
 use cellbricks::epc::enb::Enb;
 use cellbricks::net::{Driver, Endpoint, LinkConfig, LinkId, NetWorld, NodeId, Router, Topology};
@@ -42,6 +42,9 @@ pub struct CellBricksWorld {
     pub radio1: LinkId,
     pub radio2: LinkId,
     pub ue_node: NodeId,
+    pub agw1_node: NodeId,
+    pub agw2_node: NodeId,
+    pub broker_node: NodeId,
     pub cursor: SimTime,
     pub driver: Driver,
 }
@@ -49,6 +52,22 @@ pub struct CellBricksWorld {
 impl CellBricksWorld {
     pub fn build(seed: u64) -> CellBricksWorld {
         Self::build_with_plan(seed, 50_000_000)
+    }
+
+    /// A world tuned for chaos testing: the UE recovers on its own —
+    /// jittered capped exponential backoff on attach retries, more
+    /// retries, and the inactivity watchdog armed so a crashed bTelco is
+    /// detected and re-attached without harness help.
+    #[allow(dead_code)]
+    pub fn build_chaos(seed: u64) -> CellBricksWorld {
+        let mut w = Self::build(seed);
+        w.ue.set_recovery(RecoveryConfig {
+            backoff_factor: 2.0,
+            backoff_cap: SimDuration::from_secs(8),
+            jitter: 0.1,
+            reattach_after: Some(SimDuration::from_secs(2)),
+        });
+        w
     }
 
     /// Build with a specific subscriber plan MBR (bits/s).
@@ -177,6 +196,7 @@ impl CellBricksWorld {
                 report_interval: SimDuration::from_secs(5),
                 attach_retry_after: SimDuration::from_secs(2),
                 attach_max_tries: 3,
+                recovery: RecoveryConfig::default(),
             },
             rng.fork(),
         );
@@ -195,6 +215,9 @@ impl CellBricksWorld {
             radio1,
             radio2,
             ue_node,
+            agw1_node,
+            agw2_node,
+            broker_node,
             cursor: SimTime::ZERO,
             driver: Driver::new(),
         }

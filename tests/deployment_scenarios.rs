@@ -143,6 +143,7 @@ fn one_btelco_serves_two_brokers() {
                     report_interval: SimDuration::from_secs(3_600),
                     attach_retry_after: SimDuration::from_secs(2),
                     attach_max_tries: 3,
+                    recovery: cellbricks::core::ue::RecoveryConfig::default(),
                 },
                 rng.fork(),
             )
@@ -342,6 +343,7 @@ fn dual_stack_ue_roams_from_legacy_mno_to_btelco() {
                 report_interval: SimDuration::from_secs(3_600),
                 attach_retry_after: SimDuration::from_secs(2),
                 attach_max_tries: 3,
+                recovery: cellbricks::core::ue::RecoveryConfig::default(),
             },
             rng.fork(),
         ),
