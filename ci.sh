@@ -28,11 +28,43 @@ echo "==> results/fig7.metrics.json OK"
 
 # Smoke-check the engine-scale sweep: a reduced run must report the
 # scheduler events/sec gauges for each swept endpoint count.
-run cargo run --release -q -p cellbricks-bench --bin exp_scale -- --smoke
-test -s results/exp_scale.metrics.json
-grep -q '"exp_scale.engine.n1000.events_per_sec"' results/exp_scale.metrics.json
+#
+# results/exp_scale.metrics.json is the *committed* perf/alloc baseline
+# (the one .gitignore exception), written by the last full sweep. Two
+# gates against it:
+#   1. the committed N=10k steady-state events/sec must stay above the
+#      recorded floor — a PR can only re-commit the file from a run that
+#      still clears it;
+#   2. the fresh smoke run's steady-state alloc.count at N=1k must not
+#      regress vs the committed baseline (alloc counts are deterministic
+#      in the single-threaded sim; 10% headroom for allocator jitter).
+# The smoke run writes to a scratch dir so the committed baseline stays
+# untouched (re-commit it only from a deliberate full sweep).
+metric() { # metric <file> <gauge-name> -> value
+    grep -o "\"$2\":{\"value\":[0-9-]*" "$1" | grep -o '[0-9-]*$'
+}
+ENGINE_N10K_FLOOR=5000000
+committed_eps=$(metric results/exp_scale.metrics.json "exp_scale.engine.n10000.events_per_sec")
+if [ "$committed_eps" -lt "$ENGINE_N10K_FLOOR" ]; then
+    echo "FAIL: committed exp_scale.engine.n10000.events_per_sec=$committed_eps < floor $ENGINE_N10K_FLOOR"
+    exit 1
+fi
+baseline_alloc=$(metric results/exp_scale.metrics.json "exp_scale.engine.n1000.alloc.count")
+
+scratch=$(mktemp -d)
+run env CELLBRICKS_RESULTS_DIR="$scratch" \
+    cargo run --release -q -p cellbricks-bench --bin exp_scale -- --smoke
+test -s "$scratch/exp_scale.metrics.json"
+grep -q '"exp_scale.engine.n1000.events_per_sec"' "$scratch/exp_scale.metrics.json"
+fresh_alloc=$(metric "$scratch/exp_scale.metrics.json" "exp_scale.engine.n1000.alloc.count")
+alloc_cap=$((baseline_alloc + baseline_alloc / 10 + 8))
+if [ "$fresh_alloc" -gt "$alloc_cap" ]; then
+    echo "FAIL: steady-state alloc.count regressed: $fresh_alloc > cap $alloc_cap (baseline $baseline_alloc)"
+    exit 1
+fi
+rm -rf "$scratch"
 echo
-echo "==> results/exp_scale.metrics.json OK"
+echo "==> exp_scale gates OK (committed n10k ${committed_eps} ev/s >= ${ENGINE_N10K_FLOOR}; n1k alloc.count $fresh_alloc <= $alloc_cap)"
 
 # Chaos gate: every scripted fault class (link flap, burst loss, bTelco
 # crash+restart, broker outage) must converge — the run itself asserts,

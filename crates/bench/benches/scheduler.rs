@@ -1,0 +1,152 @@
+//! Criterion microbenchmarks for the scheduler data structures:
+//! [`EventQueue`] (binary heap, lazy invalidation) vs [`TimerWheel`]
+//! (hierarchical timing wheel, O(1) cancel — see `cellbricks_sim::wheel`).
+//!
+//! Two workloads mirror the simulator's hot paths:
+//!
+//! * **re-arm-heavy** — every endpoint keeps exactly one live timer and
+//!   moves it forward on each dispatch (TCP RTO / UE report timers).
+//!   The heap cannot cancel, so each re-arm strands a stale entry that
+//!   must be popped and skipped later; the wheel cancels in O(1).
+//! * **FIFO-tie** — bursts of entries at the *same* instant (an attach
+//!   burst hitting one broker). Exercises the `(time, seq)` tie-break
+//!   both structures must honour identically.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cellbricks_sim::{EventQueue, SimTime, TimerId, TimerWheel};
+
+const ENDPOINTS: usize = 1_024;
+const OPS: usize = 8 * 1_024;
+
+/// Deterministic pseudo-random step so both structures see the same
+/// deadline sequence (no external RNG in the measured loop).
+fn step(i: usize) -> u64 {
+    1 + ((i as u64).wrapping_mul(2_654_435_761) >> 7) % 10_000
+}
+
+/// Re-arm-heavy on the heap: the pre-wheel `Driver` strategy — push the
+/// new deadline, remember the live generation, skip stale pops.
+fn rearm_heap() -> u64 {
+    let mut q: EventQueue<(usize, u64)> = EventQueue::new();
+    let mut live = vec![0u64; ENDPOINTS];
+    let mut deadline = vec![SimTime::ZERO; ENDPOINTS];
+    for (i, d) in deadline.iter_mut().enumerate() {
+        *d = SimTime::from_nanos(step(i));
+        q.push(*d, (i, 0));
+    }
+    let mut dispatched = 0u64;
+    for op in 0..OPS {
+        // Re-arm one endpoint: bump its generation, push the new entry.
+        let i = op % ENDPOINTS;
+        live[i] += 1;
+        deadline[i] = SimTime::from_nanos(deadline[i].as_nanos() + step(op));
+        q.push(deadline[i], (i, live[i]));
+        // Dispatch everything due, skipping stale generations. The
+        // bound is snapshotted: a dispatched endpoint re-arms past it.
+        let bound = deadline[i];
+        while let Some((_, (j, generation))) = q.pop_due(bound) {
+            if generation == live[j] {
+                dispatched += 1;
+                live[j] += 1;
+                let at = SimTime::from_nanos(deadline[j].as_nanos() + step(dispatched as usize));
+                deadline[j] = at;
+                q.push(at, (j, live[j]));
+            }
+        }
+    }
+    dispatched
+}
+
+/// The same workload on the wheel: cancel the old handle, insert the new
+/// deadline — no stale entries exist to skip.
+fn rearm_wheel() -> u64 {
+    let mut w: TimerWheel<usize> = TimerWheel::new();
+    let mut ids: Vec<Option<TimerId>> = vec![None; ENDPOINTS];
+    let mut deadline = vec![SimTime::ZERO; ENDPOINTS];
+    for (i, d) in deadline.iter_mut().enumerate() {
+        *d = SimTime::from_nanos(step(i));
+        ids[i] = Some(w.insert(*d, i));
+    }
+    let mut dispatched = 0u64;
+    for op in 0..OPS {
+        let i = op % ENDPOINTS;
+        if let Some(id) = ids[i].take() {
+            w.cancel(id);
+        }
+        deadline[i] = SimTime::from_nanos(deadline[i].as_nanos() + step(op));
+        ids[i] = Some(w.insert(deadline[i], i));
+        let bound = deadline[i];
+        while let Some((_, j)) = w.pop_due(bound) {
+            ids[j] = None;
+            dispatched += 1;
+            let at = SimTime::from_nanos(deadline[j].as_nanos() + step(dispatched as usize));
+            deadline[j] = at;
+            ids[j] = Some(w.insert(at, j));
+        }
+    }
+    dispatched
+}
+
+/// FIFO-tie burst on the heap: `BURSTS` rounds of `ENDPOINTS` entries at
+/// one shared instant, drained in insertion order.
+fn ties_heap() -> u64 {
+    const BURSTS: usize = 16;
+    let mut q: EventQueue<usize> = EventQueue::new();
+    let mut sum = 0u64;
+    for round in 0..BURSTS {
+        let at = SimTime::from_nanos((round as u64 + 1) * 1_000_000);
+        for i in 0..ENDPOINTS {
+            q.push(at, i);
+        }
+        while let Some((_, i)) = q.pop_due(at) {
+            sum += i as u64;
+        }
+    }
+    sum
+}
+
+/// The same tie burst on the wheel.
+fn ties_wheel() -> u64 {
+    const BURSTS: usize = 16;
+    let mut w: TimerWheel<usize> = TimerWheel::new();
+    let mut sum = 0u64;
+    for round in 0..BURSTS {
+        let at = SimTime::from_nanos((round as u64 + 1) * 1_000_000);
+        for i in 0..ENDPOINTS {
+            w.insert(at, i);
+        }
+        while let Some((_, i)) = w.pop_due(at) {
+            sum += i as u64;
+        }
+    }
+    sum
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    // Sanity: the two structures must agree on what gets dispatched
+    // before we time them.
+    assert_eq!(rearm_heap(), rearm_wheel(), "re-arm workloads diverge");
+    assert_eq!(ties_heap(), ties_wheel(), "tie workloads diverge");
+
+    c.bench_function("sched_rearm_heap_lazy_invalidation", |b| {
+        b.iter(|| black_box(rearm_heap()))
+    });
+    c.bench_function("sched_rearm_wheel_cancel", |b| {
+        b.iter(|| black_box(rearm_wheel()))
+    });
+    c.bench_function("sched_fifo_ties_heap", |b| {
+        b.iter(|| black_box(ties_heap()))
+    });
+    c.bench_function("sched_fifo_ties_wheel", |b| {
+        b.iter(|| black_box(ties_wheel()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scheduler
+}
+criterion_main!(benches);

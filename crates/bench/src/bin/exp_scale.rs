@@ -19,7 +19,10 @@
 //!
 //! Per-N results land in `results/exp_scale.metrics.json` as
 //! `exp_scale.attach.n<N>.events_per_sec` and
-//! `exp_scale.engine.n<N>.events_per_sec` gauges.
+//! `exp_scale.engine.n<N>.events_per_sec` gauges, plus per-phase
+//! allocator pressure (`….alloc.count` / `….alloc.bytes` — see
+//! [`cellbricks_bench::alloc_count`]) so allocation regressions in the
+//! hot path are as visible as throughput regressions.
 //!
 //! Usage: `cargo run --release -p cellbricks-bench --bin exp_scale
 //!         [--seed S] [--smoke]`
@@ -105,6 +108,8 @@ struct EngineResult {
     n: usize,
     attach_events_per_sec: f64,
     engine_events_per_sec: f64,
+    /// Allocator calls per scheduler event in the steady-state phase.
+    engine_allocs_per_event: f64,
     ticks: u64,
 }
 
@@ -325,9 +330,11 @@ fn run_engine_sweep(n: usize, seed: u64) -> EngineResult {
 
     // Phase A: the attach burst (heavy per-event work — real SAP crypto).
     let ev0 = sched_events();
+    let alloc0 = cellbricks_bench::alloc_count::Phase::start();
     let t0 = std::time::Instant::now();
     sw.run_to(&mut driver, SimTime::from_secs(60));
     let attach_wall = t0.elapsed();
+    alloc0.export(&format!("exp_scale.attach.n{n}"));
     let attach_events = sched_events() - ev0;
     let attached = sw.ues.iter().filter(|u| u.is_attached()).count();
     assert_eq!(attached, n, "all UEs must attach in the engine sweep");
@@ -336,9 +343,11 @@ fn run_engine_sweep(n: usize, seed: u64) -> EngineResult {
     sw.ticker.next = SimTime::from_secs(60);
     sw.ticker.stop = SimTime::from_secs(70);
     let ev1 = sched_events();
+    let alloc1 = cellbricks_bench::alloc_count::Phase::start();
     let t1 = std::time::Instant::now();
     sw.run_to(&mut driver, SimTime::from_secs(70));
     let engine_wall = t1.elapsed();
+    let (engine_allocs, _) = alloc1.export(&format!("exp_scale.engine.n{n}"));
     let engine_events = sched_events() - ev1;
 
     let attach_eps = events_per_sec(attach_events, attach_wall);
@@ -349,6 +358,7 @@ fn run_engine_sweep(n: usize, seed: u64) -> EngineResult {
         n,
         attach_events_per_sec: attach_eps,
         engine_events_per_sec: engine_eps,
+        engine_allocs_per_event: engine_allocs as f64 / engine_events.max(1) as f64,
         ticks: sw.sink.received,
     }
 }
@@ -390,8 +400,8 @@ fn main() {
     println!("Engine — scheduler events/sec vs endpoint count");
     println!("{}", "-".repeat(72));
     println!(
-        "{:>6} {:>22} {:>22} {:>12}",
-        "N", "attach-burst (ev/s)", "steady-state (ev/s)", "ticks"
+        "{:>6} {:>20} {:>20} {:>10} {:>10}",
+        "N", "attach-burst (ev/s)", "steady-state (ev/s)", "alloc/ev", "ticks"
     );
     println!("{}", "-".repeat(72));
     let sweep_ns: &[usize] = if smoke {
@@ -402,8 +412,12 @@ fn main() {
     for &n in sweep_ns {
         let r = run_engine_sweep(n, seed);
         println!(
-            "{:>6} {:>22.0} {:>22.0} {:>12}",
-            r.n, r.attach_events_per_sec, r.engine_events_per_sec, r.ticks
+            "{:>6} {:>20.0} {:>20.0} {:>10.3} {:>10}",
+            r.n,
+            r.attach_events_per_sec,
+            r.engine_events_per_sec,
+            r.engine_allocs_per_event,
+            r.ticks
         );
     }
     println!("{}", "-".repeat(72));

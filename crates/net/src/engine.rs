@@ -7,11 +7,11 @@
 //! * **registry** — endpoints are keyed by [`NodeId`] once per endpoint
 //!   set (rebuilt only if the set changes between runs), so arrival
 //!   dispatch is a single hash lookup;
-//! * **timer index** — every endpoint's `poll_at()` lives in an
-//!   [`EventQueue`]`<(endpoint, generation)>` with lazy invalidation:
-//!   a stale entry (its generation no longer matches the endpoint's) is
-//!   discarded when it surfaces, so re-arming a timer is O(log N) and
-//!   never requires a heap delete;
+//! * **timer index** — every endpoint's `poll_at()` lives in a
+//!   hierarchical [`TimerWheel`]: re-arming cancels the old entry and
+//!   inserts the new one, both O(1), so there are no stale entries to
+//!   skip and no per-op heap traversal (the generation-counter
+//!   lazy-invalidation scheme this replaced is described in DESIGN.md);
 //! * **dirty set** — only endpoints that just received a packet or just
 //!   polled are re-queried for `poll_at()`; everything else is passive
 //!   and cannot have moved its own timer;
@@ -28,9 +28,14 @@ use crate::fault::{EndpointFault, FaultAction, FaultPlan};
 use crate::packet::PacketKind;
 use crate::topology::NodeId;
 use crate::world::{Endpoint, NetWorld};
-use cellbricks_sim::{EventQueue, SimTime};
+use cellbricks_sim::{SimTime, TimerId, TimerWheel};
 use cellbricks_telemetry as telemetry;
-use std::collections::HashMap;
+
+/// Dense `NodeId → endpoint index` lookup (see [`Driver::node_map`]).
+#[inline]
+fn endpoint_index(map: &[Option<u32>], node: NodeId) -> Option<usize> {
+    map.get(node.0).copied().flatten().map(|i| i as usize)
+}
 
 /// Fault-injection telemetry handles, registered lazily on the first
 /// applied fault so no-fault runs leave the metrics snapshot untouched.
@@ -85,16 +90,18 @@ impl EngineMetrics {
 pub struct Driver {
     /// Registered endpoint nodes, in endpoint-slice order.
     nodes: Vec<NodeId>,
-    /// NodeId → endpoint index, built when the endpoint set is first seen.
-    node_map: HashMap<NodeId, usize>,
-    /// Current timer generation per endpoint; heap entries with an older
-    /// generation are stale and skipped lazily.
-    gen: Vec<u64>,
+    /// NodeId → endpoint index, built when the endpoint set is first
+    /// seen. `NodeId`s are dense topology indices, so this is a direct
+    /// table rather than a hash map — arrival dispatch is one bounds
+    /// check + one load per packet.
+    node_map: Vec<Option<u32>>,
     /// The `poll_at` instant currently indexed per endpoint (None: no
-    /// live heap entry).
+    /// live wheel entry).
     scheduled: Vec<Option<SimTime>>,
-    /// Timer index over `(endpoint index, generation)`.
-    timers: EventQueue<(usize, u64)>,
+    /// Live wheel handle per endpoint, for O(1) cancel on re-arm.
+    timer_ids: Vec<Option<TimerId>>,
+    /// Timer index over endpoint indices.
+    timers: TimerWheel<usize>,
     dirty: Vec<bool>,
     dirty_list: Vec<usize>,
     /// Endpoints due at the current instant (sorted to slice order).
@@ -105,6 +112,9 @@ pub struct Driver {
     out: Vec<crate::packet::Packet>,
     /// The floor of the next run window (the previous window's end).
     clock: SimTime,
+    /// Event ordinal for service-time sampling (see
+    /// [`sample_service_time`](Self::sample_service_time)).
+    svc_tick: u64,
     /// Scripted faults still to apply (empty by default).
     faults: FaultPlan,
     metrics: EngineMetrics,
@@ -130,16 +140,17 @@ impl Driver {
     pub fn starting_at(from: SimTime) -> Self {
         Self {
             nodes: Vec::new(),
-            node_map: HashMap::new(),
-            gen: Vec::new(),
+            node_map: Vec::new(),
             scheduled: Vec::new(),
-            timers: EventQueue::new(),
+            timer_ids: Vec::new(),
+            timers: TimerWheel::new(),
             dirty: Vec::new(),
             dirty_list: Vec::new(),
             due: Vec::new(),
             arrivals: Vec::new(),
             out: Vec::new(),
             clock: from,
+            svc_tick: 0,
             faults: FaultPlan::new(),
             metrics: EngineMetrics::register(),
             fault_metrics: None,
@@ -183,17 +194,18 @@ impl Driver {
             self.nodes.clear();
             self.nodes.extend(endpoints.iter().map(|e| e.node()));
             self.node_map.clear();
-            self.node_map
-                .extend(self.nodes.iter().enumerate().map(|(i, n)| (*n, i)));
-            assert_eq!(
-                self.node_map.len(),
-                endpoints.len(),
-                "two endpoints share a node"
-            );
-            self.gen.clear();
-            self.gen.resize(endpoints.len(), 0);
+            let table = self.nodes.iter().map(|n| n.0).max().map_or(0, |m| m + 1);
+            self.node_map.resize(table, None);
+            for (i, n) in self.nodes.iter().enumerate() {
+                assert!(
+                    self.node_map[n.0].replace(i as u32).is_none(),
+                    "two endpoints share a node"
+                );
+            }
             self.scheduled.clear();
             self.scheduled.resize(endpoints.len(), None);
+            self.timer_ids.clear();
+            self.timer_ids.resize(endpoints.len(), None);
             self.timers.clear();
             self.dirty.clear();
             self.dirty.resize(endpoints.len(), false);
@@ -211,49 +223,50 @@ impl Driver {
         }
     }
 
+    /// Start a service-time measurement for 1 event in 8, by event
+    /// ordinal. Unsampled timing (two `Instant::now` calls per event)
+    /// was a measurable slice of the steady-state event budget; a
+    /// deterministic 1-in-8 sample keeps the `service_ns` percentiles
+    /// honest at an eighth of the instrumentation cost.
+    #[inline]
+    fn sample_service_time(&mut self, timed: bool) -> Option<std::time::Instant> {
+        let tick = self.svc_tick;
+        self.svc_tick = tick.wrapping_add(1);
+        (timed && tick & 7 == 0).then(std::time::Instant::now)
+    }
+
     /// Re-query `poll_at` for every dirty endpoint and update the timer
-    /// index. An unchanged instant keeps its live heap entry; a changed
-    /// one bumps the generation (lazily invalidating the old entry) and
-    /// pushes a fresh entry.
+    /// index. An unchanged instant keeps its live wheel entry; a changed
+    /// one cancels the old entry and inserts the new instant, both O(1).
     fn flush_dirty(&mut self, endpoints: &[&mut dyn Endpoint]) {
         while let Some(i) = self.dirty_list.pop() {
             self.dirty[i] = false;
             let want = endpoints[i].poll_at();
             if want != self.scheduled[i] {
-                self.gen[i] += 1;
+                if let Some(id) = self.timer_ids[i].take() {
+                    self.timers.cancel(id);
+                }
                 if let Some(t) = want {
-                    self.timers.push(t, (i, self.gen[i]));
+                    self.timer_ids[i] = Some(self.timers.insert(t, i));
                 }
                 self.scheduled[i] = want;
             }
         }
     }
 
-    /// The earliest live timer, discarding stale entries.
+    /// The earliest pending timer. Every wheel entry is live — cancel is
+    /// eager — so there is no stale-entry skip loop here or in
+    /// [`pop_due_timer`](Self::pop_due_timer).
     fn peek_timer(&mut self) -> Option<SimTime> {
-        loop {
-            let (t, &(i, g)) = self.timers.peek()?;
-            if self.gen[i] == g {
-                return Some(t);
-            }
-            self.timers.pop();
-        }
+        self.timers.peek_time()
     }
 
-    /// Pop the endpoint of the earliest live timer due at or before
-    /// `now`, discarding stale entries.
+    /// Pop the endpoint of the earliest timer due at or before `now`.
     fn pop_due_timer(&mut self, now: SimTime) -> Option<usize> {
-        loop {
-            let (t, &(i, g)) = self.timers.peek()?;
-            if t > now {
-                return None;
-            }
-            self.timers.pop();
-            if self.gen[i] == g {
-                self.scheduled[i] = None;
-                return Some(i);
-            }
-        }
+        let (_, i) = self.timers.pop_due(now)?;
+        self.scheduled[i] = None;
+        self.timer_ids[i] = None;
+        Some(i)
     }
 
     /// Drive `endpoints` over `world` until no event remains at or before
@@ -312,14 +325,14 @@ impl Driver {
             }
             let mut arrivals = std::mem::take(&mut self.arrivals);
             for (_at, node, pkt) in arrivals.drain(..) {
-                if let Some(&i) = self.node_map.get(&node) {
+                if let Some(i) = endpoint_index(&self.node_map, node) {
                     self.metrics.ev_arrival.inc();
+                    let t0 = self.sample_service_time(timed);
                     let svc = match &pkt.kind {
                         PacketKind::Tcp(_) => &self.metrics.svc_tcp,
                         PacketKind::Udp { .. } => &self.metrics.svc_udp,
                         PacketKind::Control(_) => &self.metrics.svc_control,
                     };
-                    let t0 = timed.then(std::time::Instant::now);
                     endpoints[i].handle_packet(now, pkt, &mut self.out);
                     if let Some(t0) = t0 {
                         svc.record(t0.elapsed().as_nanos() as u64);
@@ -346,7 +359,7 @@ impl Driver {
             for k in 0..self.due.len() {
                 let i = self.due[k];
                 self.metrics.ev_poll.inc();
-                let t0 = timed.then(std::time::Instant::now);
+                let t0 = self.sample_service_time(timed);
                 endpoints[i].poll(now, &mut self.out);
                 if let Some(t0) = t0 {
                     self.metrics.svc_poll.record(t0.elapsed().as_nanos() as u64);
@@ -388,7 +401,7 @@ impl Driver {
                 world.set_burst_loss(link, model);
             }
             FaultAction::Endpoint { node, fault } => {
-                if let Some(&i) = self.node_map.get(&node) {
+                if let Some(i) = endpoint_index(&self.node_map, node) {
                     match fault {
                         EndpointFault::CrashRestart { .. } => m.endpoint_crash.inc(),
                         EndpointFault::Unavailable { .. } => m.endpoint_unavailable.inc(),

@@ -36,7 +36,10 @@ pub mod world;
 pub use engine::{run_between, run_until, Driver};
 pub use fault::{BurstLoss, EndpointFault, FaultAction, FaultPlan};
 pub use link::{LinkConfig, RateSchedule, Shaper};
-pub use packet::{Endpoint as EndpointAddr, MpSignal, Packet, PacketKind, TcpFlags, TcpSegment};
+pub use packet::{
+    Endpoint as EndpointAddr, MpSignal, Packet, PacketKind, SackBlocks, TcpFlags, TcpSegment,
+    MAX_SACK_BLOCKS,
+};
 pub use policy::{CarrierPolicy, TimeOfDay};
 pub use topology::{LinkId, NodeId, Topology};
 pub use world::{Endpoint, LinkStats, NetWorld, Router};

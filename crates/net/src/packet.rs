@@ -6,7 +6,19 @@
 //! cryptographic content matters.
 
 use bytes::Bytes;
+use smallvec::SmallVec;
 use std::net::Ipv4Addr;
+
+/// RFC 2018 option-space limit: at most 3 SACK blocks fit in the TCP
+/// option field alongside a timestamp option, and real stacks send the
+/// blocks nearest the cumulative ACK first. Senders must respect this
+/// cap; [`TcpSegment::header_len`] clamps to it defensively.
+pub const MAX_SACK_BLOCKS: usize = 3;
+
+/// SACK block list: `[start, end)` ranges, stored inline — carrying (and
+/// cloning) a segment with up to [`MAX_SACK_BLOCKS`] blocks never touches
+/// the heap.
+pub type SackBlocks = SmallVec<[(u64, u64); MAX_SACK_BLOCKS]>;
 
 /// A transport endpoint address (IP + port).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -124,8 +136,9 @@ pub struct TcpSegment {
     /// MPTCP connection-level cumulative data ACK.
     pub data_ack: Option<u64>,
     /// SACK blocks: out-of-order ranges the receiver holds
-    /// (`[start, end)` pairs, nearest to the cumulative ACK first).
-    pub sack: Vec<(u64, u64)>,
+    /// (`[start, end)` pairs, nearest to the cumulative ACK first), at
+    /// most [`MAX_SACK_BLOCKS`] of them.
+    pub sack: SackBlocks,
 }
 
 impl TcpSegment {
@@ -140,7 +153,9 @@ impl TcpSegment {
             len += 20; // DSS option.
         }
         if !self.sack.is_empty() {
-            len += 2 + 8 * self.sack.len() as u32; // SACK option.
+            // SACK option; the block count can never exceed what the
+            // 40-byte option field fits.
+            len += 2 + 8 * self.sack.len().min(MAX_SACK_BLOCKS) as u32;
         }
         len
     }
@@ -264,7 +279,7 @@ mod tests {
             mp: None,
             data_seq: None,
             data_ack: None,
-            sack: Vec::new(),
+            sack: SackBlocks::new(),
         };
         let base = Packet::tcp(ip(1), ip(2), seg.clone()).wire_size();
         assert_eq!(base, 1040);
@@ -274,6 +289,33 @@ mod tests {
         seg.data_seq = Some(0);
         let with_dss = Packet::tcp(ip(1), ip(2), seg).wire_size();
         assert_eq!(with_dss, 1072);
+    }
+
+    #[test]
+    fn sack_option_capped_at_three_blocks() {
+        let mut seg = TcpSegment {
+            src_port: 1,
+            dst_port: 2,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::ACK,
+            payload_len: 0,
+            window: 65535,
+            mp: None,
+            data_seq: None,
+            data_ack: None,
+            sack: SackBlocks::new(),
+        };
+        seg.sack.push((100, 200));
+        assert_eq!(seg.header_len(), 40 + 2 + 8);
+        seg.sack.push((300, 400));
+        seg.sack.push((500, 600));
+        assert_eq!(seg.header_len(), 40 + 2 + 24);
+        assert!(!seg.sack.spilled(), "three blocks must stay inline");
+        // A malformed producer pushing a fourth block cannot inflate the
+        // header past the RFC 2018 option-space limit.
+        seg.sack.push((700, 800));
+        assert_eq!(seg.header_len(), 40 + 2 + 24);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::fault::{BurstLoss, EndpointFault};
 use crate::link::{DropCause, Offer};
 use crate::packet::Packet;
 use crate::topology::{LinkId, NodeId, Topology};
-use cellbricks_sim::{EventQueue, SimRng, SimTime};
+use cellbricks_sim::{EventQueue, SimRng, SimTime, TimerWheel};
 use cellbricks_telemetry as telemetry;
 
 /// A protocol participant attached to a topology node.
@@ -94,7 +94,10 @@ impl WorldMetrics {
 /// The network: topology plus in-flight packets.
 pub struct NetWorld {
     topology: Topology,
-    arrivals: EventQueue<Arrival>,
+    /// In-flight deliveries, indexed by arrival instant. A [`TimerWheel`]
+    /// rather than an [`EventQueue`]: the slab freelist recycles queue
+    /// entries, so the steady-state delivery path allocates nothing.
+    arrivals: TimerWheel<Arrival>,
     rng: SimRng,
     /// Packets dropped because no route matched.
     pub no_route_drops: u64,
@@ -107,7 +110,7 @@ impl NetWorld {
     pub fn new(topology: Topology, rng: SimRng) -> Self {
         Self {
             topology,
-            arrivals: EventQueue::new(),
+            arrivals: TimerWheel::new(),
             rng,
             no_route_drops: 0,
             metrics: WorldMetrics::register(),
@@ -150,7 +153,7 @@ impl NetWorld {
             Offer::Deliver(at) => {
                 self.metrics.delivered.inc();
                 self.metrics.delivered_bytes.add(u64::from(size));
-                self.arrivals.push(at, Arrival { node: peer, pkt });
+                self.arrivals.insert(at, Arrival { node: peer, pkt });
                 self.metrics.in_flight.set(self.arrivals.len() as i64);
             }
             Offer::Drop(cause) => {
@@ -166,9 +169,9 @@ impl NetWorld {
         }
     }
 
-    /// The instant of the next pending arrival.
-    #[must_use]
-    pub fn next_arrival_at(&self) -> Option<SimTime> {
+    /// The instant of the next pending arrival. `&mut` because peeking
+    /// may advance the wheel's internal scan position.
+    pub fn next_arrival_at(&mut self) -> Option<SimTime> {
         self.arrivals.peek_time()
     }
 

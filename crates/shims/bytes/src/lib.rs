@@ -4,9 +4,14 @@
 //! builder), and the [`BufMut`] write helpers. Built so the workspace
 //! resolves without crates.io access (see `crates/shims/README.md`).
 //!
-//! `Bytes` is an `Arc<[u8]>` plus a sub-range, so `clone` and `slice`
-//! are O(1) and never copy — the property the packet plumbing relies on
-//! when fanning one payload out to several simulated hops.
+//! `Bytes` is shared storage (an `Arc<[u8]>`, or a borrowed `&'static
+//! [u8]` for literals) plus a sub-range, so `clone` and `slice` are
+//! O(1) and never copy — the property the packet plumbing relies on
+//! when fanning one payload out to several simulated hops. Matching
+//! upstream, [`Bytes::from_static`] performs **no allocation at all**:
+//! control-plane packets built from literals (keepalives, ticks) stay
+//! out of the allocator entirely, which the steady-state `alloc.count`
+//! gauges in `exp_scale` rely on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,12 +21,34 @@ use std::hash::{Hash, Hasher};
 use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
 
+/// Backing storage: borrowed statics never touch the allocator.
+#[derive(Clone)]
+enum Storage {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Storage {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Storage::Static(s) => s,
+            Storage::Shared(a) => a,
+        }
+    }
+}
+
 /// An immutable, reference-counted byte buffer; `clone` is O(1).
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Storage,
     start: usize,
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::from_static(&[])
+    }
 }
 
 impl Bytes {
@@ -31,10 +58,14 @@ impl Bytes {
         Self::default()
     }
 
-    /// Wrap a static byte slice (copies once into shared storage).
+    /// Wrap a static byte slice (zero-copy, no allocation).
     #[must_use]
-    pub fn from_static(data: &'static [u8]) -> Self {
-        Self::from(data.to_vec())
+    pub const fn from_static(data: &'static [u8]) -> Self {
+        Self {
+            data: Storage::Static(data),
+            start: 0,
+            end: data.len(),
+        }
     }
 
     /// Copy an arbitrary slice into a new buffer.
@@ -74,7 +105,7 @@ impl Bytes {
         };
         assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + lo,
             end: self.start + hi,
         }
@@ -90,7 +121,7 @@ impl Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.as_slice()[self.start..self.end]
     }
 }
 
@@ -105,7 +136,7 @@ impl From<Vec<u8>> for Bytes {
         let data: Arc<[u8]> = v.into();
         let end = data.len();
         Self {
-            data,
+            data: Storage::Shared(data),
             start: 0,
             end,
         }
@@ -281,7 +312,21 @@ mod tests {
         assert_eq!(b.len(), 5);
         let c = b.clone();
         assert_eq!(c, b);
-        assert!(Arc::ptr_eq(&c.data, &b.data));
+        assert!(std::ptr::eq(c.as_ref().as_ptr(), b.as_ref().as_ptr()));
+        assert!(std::ptr::eq(s.as_ref().as_ptr(), &b[1]));
+    }
+
+    #[test]
+    fn from_static_is_zero_copy() {
+        static PAYLOAD: &[u8] = b"tick";
+        let b = Bytes::from_static(PAYLOAD);
+        // The buffer borrows the literal itself — nothing was copied
+        // (and, with the counting allocator in the bench crate,
+        // nothing is allocated on this path).
+        assert!(std::ptr::eq(b.as_ref().as_ptr(), PAYLOAD.as_ptr()));
+        let c = b.clone().slice(1..3);
+        assert_eq!(&c[..], b"ic");
+        assert!(std::ptr::eq(c.as_ref().as_ptr(), &PAYLOAD[1]));
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Offline stand-in for the `smallvec` crate.
+//!
+//! [`SmallVec<[T; N]>`](SmallVec) stores up to `N` elements inline (no
+//! heap allocation) and spills to a `Vec` beyond that. The workspace uses
+//! it for hot per-packet lists (e.g. TCP SACK blocks) where the common
+//! case fits inline and cloning must not allocate.
+//!
+//! Deliberate differences from upstream (documented in
+//! `crates/shims/README.md`): the element type must implement
+//! [`Default`] (inline storage is a plain `[T; N]`, kept initialized so
+//! no `unsafe` is needed), and only the API subset this repository uses
+//! is provided.
+
+#![forbid(unsafe_code)]
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Backing-array marker: `SmallVec<[T; N]>` mirrors upstream's type
+/// syntax through this trait.
+pub trait Array {
+    /// Element type.
+    type Item: Default + Clone;
+    /// Inline capacity.
+    const CAP: usize;
+    /// A fully-initialized (default) backing array.
+    fn defaulted() -> Self;
+    /// The backing storage as a slice.
+    fn as_slice(&self) -> &[Self::Item];
+    /// The backing storage as a mutable slice.
+    fn as_mut_slice(&mut self) -> &mut [Self::Item];
+}
+
+impl<T: Default + Clone, const N: usize> Array for [T; N] {
+    type Item = T;
+    const CAP: usize = N;
+    fn defaulted() -> Self {
+        core::array::from_fn(|_| T::default())
+    }
+    fn as_slice(&self) -> &[T] {
+        self
+    }
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+/// A vector storing up to `A::CAP` elements inline before spilling to
+/// the heap.
+pub struct SmallVec<A: Array> {
+    inline: A,
+    /// Elements in `inline` when not spilled; `usize::MAX` marks spilled.
+    len: usize,
+    spill: Vec<A::Item>,
+}
+
+const SPILLED: usize = usize::MAX;
+
+impl<A: Array> SmallVec<A> {
+    /// An empty vector (inline, no allocation).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inline: A::defaulted(),
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        if self.len == SPILLED {
+            self.spill.len()
+        } else {
+            self.len
+        }
+    }
+
+    /// True if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once the contents have spilled to the heap.
+    #[must_use]
+    pub fn spilled(&self) -> bool {
+        self.len == SPILLED
+    }
+
+    /// Append an element, spilling to the heap if the inline capacity is
+    /// exceeded.
+    pub fn push(&mut self, value: A::Item) {
+        if self.len == SPILLED {
+            self.spill.push(value);
+        } else if self.len < A::CAP {
+            self.inline.as_mut_slice()[self.len] = value;
+            self.len += 1;
+        } else {
+            self.spill.reserve(A::CAP + 1);
+            for v in &mut self.inline.as_mut_slice()[..self.len] {
+                self.spill.push(core::mem::take(v));
+            }
+            self.spill.push(value);
+            self.len = SPILLED;
+        }
+    }
+
+    /// Remove all elements (inline storage is retained; a spilled heap
+    /// buffer keeps its capacity).
+    pub fn clear(&mut self) {
+        if self.len == SPILLED {
+            self.spill.clear();
+        } else {
+            for v in &mut self.inline.as_mut_slice()[..self.len] {
+                *v = A::Item::default();
+            }
+            self.len = 0;
+        }
+    }
+
+    /// Shorten to `len` elements; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        if self.len == SPILLED {
+            self.spill.truncate(len);
+        } else if len < self.len {
+            for v in &mut self.inline.as_mut_slice()[len..self.len] {
+                *v = A::Item::default();
+            }
+            self.len = len;
+        }
+    }
+
+    /// The elements as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[A::Item] {
+        if self.len == SPILLED {
+            &self.spill
+        } else {
+            &self.inline.as_slice()[..self.len]
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [A::Item] {
+        if self.len == SPILLED {
+            &mut self.spill
+        } else {
+            &mut self.inline.as_mut_slice()[..self.len]
+        }
+    }
+
+    /// Copy from a slice (clears first).
+    pub fn from_slice(slice: &[A::Item]) -> Self {
+        let mut v = Self::new();
+        v.extend(slice.iter().cloned());
+        v
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+    fn deref(&self) -> &[A::Item] {
+        self.as_slice()
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        self.as_mut_slice()
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A> {
+    fn clone(&self) -> Self {
+        let mut out = Self::new();
+        out.extend(self.as_slice().iter().cloned());
+        out
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<A: Array, B: Array<Item = A::Item>> PartialEq<SmallVec<B>> for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &SmallVec<B>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        let mut v = Self::new();
+        v.extend(iter);
+        v
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = core::slice::Iter<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a mut SmallVec<A> {
+    type Item = &'a mut A::Item;
+    type IntoIter = core::slice::IterMut<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+/// Construct a [`SmallVec`] from a list of elements, like `vec!`.
+#[macro_export]
+macro_rules! smallvec {
+    () => { $crate::SmallVec::new() };
+    ($($x:expr),+ $(,)?) => {{
+        let mut v = $crate::SmallVec::new();
+        $(v.push($x);)+
+        v
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type SV = SmallVec<[(u64, u64); 3]>;
+
+    #[test]
+    fn inline_until_capacity() {
+        let mut v = SV::new();
+        assert!(v.is_empty());
+        v.push((1, 2));
+        v.push((3, 4));
+        v.push((5, 6));
+        assert!(!v.spilled());
+        assert_eq!(v.len(), 3);
+        assert_eq!(&v[..], &[(1, 2), (3, 4), (5, 6)]);
+    }
+
+    #[test]
+    fn spills_preserving_order() {
+        let mut v = SV::new();
+        for i in 0..5 {
+            v.push((i, i + 1));
+        }
+        assert!(v.spilled());
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[4], (4, 5));
+        assert_eq!(v[0], (0, 1));
+    }
+
+    #[test]
+    fn clear_and_truncate() {
+        let mut v = SV::new();
+        v.extend([(1, 1), (2, 2), (3, 3)]);
+        v.truncate(1);
+        assert_eq!(v.len(), 1);
+        v.clear();
+        assert!(v.is_empty());
+        let mut s = SV::new();
+        s.extend((0..6).map(|i| (i, i)));
+        s.truncate(2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn clone_eq_debug() {
+        let v: SV = [(7, 8), (9, 10)].iter().copied().collect();
+        let c = v.clone();
+        assert_eq!(v, c);
+        assert!(!c.spilled());
+        assert_eq!(format!("{v:?}"), "[(7, 8), (9, 10)]");
+    }
+
+    #[test]
+    fn macro_and_iter() {
+        let v: SmallVec<[u32; 2]> = smallvec![1, 2, 3];
+        assert!(v.spilled());
+        let doubled: Vec<u32> = v.iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let empty: SmallVec<[u32; 2]> = smallvec![];
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn from_slice_roundtrip() {
+        let v = SV::from_slice(&[(1, 2)]);
+        assert_eq!(v.as_slice(), &[(1, 2)]);
+    }
+
+    #[test]
+    fn sort_via_deref_mut() {
+        let mut v: SmallVec<[u32; 4]> = smallvec![3, 1, 2];
+        v.sort_unstable();
+        assert_eq!(&v[..], &[1, 2, 3]);
+    }
+}

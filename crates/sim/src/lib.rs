@@ -7,6 +7,8 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — the virtual clock (nanosecond ticks),
 //! * [`EventQueue`] — a stable-ordered pending-event set,
+//! * [`TimerWheel`] — a hierarchical timing wheel with the same ordering
+//!   contract but O(1) insert/cancel, for hot scheduling paths,
 //! * [`SimRng`] — one seeded random stream per experiment,
 //! * [`stats`] — Welford summaries, percentiles, and binned time series
 //!   used by the benchmark harness.
@@ -18,8 +20,10 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{percentile, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};
+pub use wheel::{TimerId, TimerWheel};

@@ -83,8 +83,13 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event only if it is due at or before `now`.
     pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
-        if self.peek_time()? <= now {
-            self.pop()
+        // Hold the root entry across the check so the due case costs one
+        // heap traversal (the sift-down in `PeekMut::pop`), not a peek
+        // traversal followed by a second full pop.
+        let entry = self.heap.peek_mut()?;
+        if entry.at <= now {
+            let e = std::collections::binary_heap::PeekMut::pop(entry);
+            Some((e.at, e.event))
         } else {
             None
         }

@@ -1,0 +1,642 @@
+//! A hierarchical timing wheel (Varghese–Lauck) over [`SimTime`].
+//!
+//! [`TimerWheel`] is a drop-in replacement for [`EventQueue`](crate::EventQueue)
+//! on hot scheduling paths: same pop order (earliest instant first, FIFO
+//! by insertion within an instant), but O(1) amortized insert/cancel
+//! instead of O(log n), and no stale entries — cancelling a timer removes
+//! it immediately rather than leaving a generation-tagged tombstone to be
+//! skipped later.
+//!
+//! # Structure
+//!
+//! Time is the raw nanosecond count of [`SimTime`]. The wheel keeps a
+//! monotone scan position `cur` and 11 levels of 64 slots each; level `l`
+//! buckets pending entries by bits `[6l, 6l+6)` of their deadline
+//! (6 bits/level × 11 levels = 66 bits ≥ the full 64-bit range, so any
+//! deadline, including [`SimTime::FAR_FUTURE`], fits without overflow
+//! wraparound). An entry due at `t > cur` lands at the level of the
+//! highest bit where `t` differs from `cur` — which is exactly the
+//! deepest level at which `t`'s slot index exceeds `cur`'s, so scanning
+//! each level for the first occupied slot *after* `cur`'s finds the
+//! global minimum. A level-0 slot spans a single nanosecond: by the time
+//! an entry cascades down to level 0 its slot *is* its deadline, which is
+//! what makes exact FIFO ordering cheap (everything in the slot shares
+//! one instant).
+//!
+//! Entries with a deadline at or before `cur` go straight to the `ready`
+//! buffer, keeping their original deadline; `ready` is kept sorted by
+//! `(deadline, seq)`, so even "schedule in the past" inserts (the
+//! engine's *as-soon-as-possible* polls) pop in exactly the order
+//! [`EventQueue`](crate::EventQueue) would produce.
+//!
+//! # Freelist pool
+//!
+//! Entries live in a slab (`Vec<Node>`) with an embedded freelist; slots
+//! store `u32` slab indices. Once the slab has grown to the high-water
+//! mark of concurrently pending timers, insert/cancel/pop allocate
+//! nothing — the freelist is the pool.
+//!
+//! # Determinism contract
+//!
+//! For any interleaved sequence of `push`/`pop`/`pop_due` calls,
+//! `TimerWheel` returns exactly what `EventQueue` returns (property-tested
+//! against it as an oracle in this module). `cancel` additionally removes
+//! an entry in O(1); a cancelled-then-reinserted timer behaves like a
+//! fresh push (new sequence number, FIFO slot at the back of its instant).
+
+use crate::time::SimTime;
+
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS; // 64
+const LEVELS: usize = 11; // 6 × 11 = 66 bits ≥ 64
+
+/// Handle to a pending timer, returned by [`TimerWheel::insert`].
+///
+/// The handle is validated on [`cancel`](TimerWheel::cancel): cancelling
+/// a timer that already fired (or was already cancelled) is a no-op
+/// returning `None`, even if its slab cell has since been reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerId {
+    cell: u32,
+    seq: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// In `slots[level * SLOTS + slot]` at position `idx`.
+    Slot { level: u8, slot: u8, idx: u32 },
+    /// In the `ready` buffer (position found by scan; cancels here are
+    /// rare and the buffer is small).
+    Ready,
+    /// Not pending (fired, cancelled, or never used).
+    Free,
+}
+
+struct Node<E> {
+    at: SimTime,
+    seq: u64,
+    event: Option<E>,
+    loc: Loc,
+}
+
+/// A hierarchical timing wheel with [`EventQueue`](crate::EventQueue)-equivalent
+/// ordering and O(1) insert/cancel. See the module docs for the design.
+pub struct TimerWheel<E> {
+    /// Monotone scan position (ns). All slot-resident entries are due
+    /// strictly after `cur`; everything due at or before it is in `ready`.
+    cur: u64,
+    next_seq: u64,
+    /// `LEVELS × SLOTS` buckets of slab indices, flattened.
+    slots: Vec<Vec<u32>>,
+    /// Per-level bitmap of non-empty slots.
+    occupied: [u64; LEVELS],
+    /// Entry storage; freed cells are recycled via `free`.
+    slab: Vec<Node<E>>,
+    /// Freelist of slab cells (the allocation pool).
+    free: Vec<u32>,
+    /// Due entries, sorted by `(at, seq)` from `ready_head` on.
+    ready: Vec<u32>,
+    ready_head: usize,
+    ready_dirty: bool,
+    len: usize,
+}
+
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimerWheel<E> {
+    /// An empty wheel positioned at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            cur: 0,
+            next_seq: 0,
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            slab: Vec::new(),
+            free: Vec::new(),
+            ready: Vec::new(),
+            ready_head: 0,
+            ready_dirty: false,
+            len: 0,
+        }
+    }
+
+    /// Number of pending timers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no timers are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop all pending timers (outstanding [`TimerId`]s become stale).
+    /// Slot, slab and freelist capacity is retained; the scan position is
+    /// not rewound — time stays monotone across a clear.
+    pub fn clear(&mut self) {
+        if self.len == 0 && self.ready.is_empty() {
+            return;
+        }
+        for v in &mut self.slots {
+            v.clear();
+        }
+        self.occupied = [0; LEVELS];
+        self.slab.clear();
+        self.free.clear();
+        self.ready.clear();
+        self.ready_head = 0;
+        self.ready_dirty = false;
+        self.len = 0;
+    }
+
+    /// Schedule `event` at instant `at`. Equivalent to
+    /// [`EventQueue::push`](crate::EventQueue::push), additionally
+    /// returning a handle usable with [`cancel`](Self::cancel).
+    pub fn insert(&mut self, at: SimTime, event: E) -> TimerId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let cell = match self.free.pop() {
+            Some(c) => {
+                self.slab[c as usize] = Node {
+                    at,
+                    seq,
+                    event: Some(event),
+                    loc: Loc::Free,
+                };
+                c
+            }
+            None => {
+                let c = u32::try_from(self.slab.len()).expect("timer wheel slab overflow");
+                self.slab.push(Node {
+                    at,
+                    seq,
+                    event: Some(event),
+                    loc: Loc::Free,
+                });
+                c
+            }
+        };
+        self.place(cell);
+        self.len += 1;
+        TimerId { cell, seq }
+    }
+
+    /// File `cell` into the slot (or ready buffer) dictated by its
+    /// deadline relative to `cur`.
+    fn place(&mut self, cell: u32) {
+        let at = self.slab[cell as usize].at.as_nanos();
+        let t = at.max(self.cur);
+        let xor = t ^ self.cur;
+        if xor == 0 {
+            // Due now (or scheduled in the past): straight to ready.
+            self.slab[cell as usize].loc = Loc::Ready;
+            self.ready.push(cell);
+            self.ready_dirty = true;
+            return;
+        }
+        let level = ((63 - xor.leading_zeros()) / SLOT_BITS) as usize;
+        let slot = ((t >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        let bucket = &mut self.slots[level * SLOTS + slot];
+        self.slab[cell as usize].loc = Loc::Slot {
+            level: level as u8,
+            slot: slot as u8,
+            idx: bucket.len() as u32,
+        };
+        bucket.push(cell);
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// Cancel a pending timer in O(1), returning its event, or `None` if
+    /// the handle is stale (the timer already fired or was cancelled).
+    pub fn cancel(&mut self, id: TimerId) -> Option<E> {
+        let node = self.slab.get(id.cell as usize)?;
+        if node.seq != id.seq || node.loc == Loc::Free {
+            return None;
+        }
+        match node.loc {
+            Loc::Slot { level, slot, idx } => {
+                let bucket = &mut self.slots[level as usize * SLOTS + slot as usize];
+                bucket.swap_remove(idx as usize);
+                if let Some(&moved) = bucket.get(idx as usize) {
+                    self.slab[moved as usize].loc = Loc::Slot { level, slot, idx };
+                }
+                if bucket.is_empty() {
+                    self.occupied[level as usize] &= !(1 << slot);
+                }
+            }
+            Loc::Ready => {
+                // Rare path: linear scan of the (small) due buffer.
+                let pos = self.ready[self.ready_head..]
+                    .iter()
+                    .position(|&c| c == id.cell)
+                    .expect("ready entry missing")
+                    + self.ready_head;
+                self.ready.swap_remove(pos);
+                self.ready_dirty = true;
+            }
+            Loc::Free => unreachable!(),
+        }
+        let node = &mut self.slab[id.cell as usize];
+        node.loc = Loc::Free;
+        let ev = node.event.take();
+        self.free.push(id.cell);
+        self.len -= 1;
+        ev
+    }
+
+    /// Bitmask of slot indices strictly greater than `base`.
+    fn above(base: u64) -> u64 {
+        if base >= (SLOTS as u64 - 1) {
+            0
+        } else {
+            !0u64 << (base + 1)
+        }
+    }
+
+    /// Advance `cur` and cascade until the ready buffer holds the
+    /// earliest pending entries (sorted), or return `false` if empty.
+    fn ensure_ready(&mut self) -> bool {
+        loop {
+            if self.ready_head < self.ready.len() {
+                if self.ready_dirty {
+                    let (ready, slab) = (&mut self.ready, &self.slab);
+                    ready[self.ready_head..].sort_unstable_by_key(|&c| {
+                        let n = &slab[c as usize];
+                        (n.at, n.seq)
+                    });
+                    self.ready_dirty = false;
+                }
+                return true;
+            }
+            self.ready.clear();
+            self.ready_head = 0;
+            self.ready_dirty = false;
+
+            let mut advanced = false;
+            for level in 0..LEVELS {
+                let shift = SLOT_BITS * level as u32;
+                let base = (self.cur >> shift) & (SLOTS as u64 - 1);
+                let mask = self.occupied[level] & Self::above(base);
+                if mask == 0 {
+                    continue;
+                }
+                let slot = u64::from(mask.trailing_zeros());
+                if level == 0 {
+                    // A level-0 slot is one exact nanosecond: activate it.
+                    self.cur = (self.cur & !(SLOTS as u64 - 1)) | slot;
+                    let idx = slot as usize;
+                    let mut bucket = std::mem::take(&mut self.slots[idx]);
+                    self.occupied[0] &= !(1 << slot);
+                    for &cell in &bucket {
+                        self.slab[cell as usize].loc = Loc::Ready;
+                    }
+                    self.ready.append(&mut bucket);
+                    self.slots[idx] = bucket;
+                    self.ready_dirty = true;
+                } else {
+                    // Jump to the slot's base time and redistribute its
+                    // entries one level down (or to ready if due exactly).
+                    let upper_shift = SLOT_BITS * (level as u32 + 1);
+                    let upper = if upper_shift >= 64 {
+                        0
+                    } else {
+                        (self.cur >> upper_shift) << upper_shift
+                    };
+                    self.cur = upper | (slot << shift);
+                    let idx = level * SLOTS + slot as usize;
+                    let mut bucket = std::mem::take(&mut self.slots[idx]);
+                    self.occupied[level] &= !(1 << slot);
+                    for &cell in &bucket {
+                        self.place(cell);
+                    }
+                    bucket.clear();
+                    self.slots[idx] = bucket;
+                }
+                advanced = true;
+                break;
+            }
+            if !advanced {
+                return false;
+            }
+        }
+    }
+
+    /// The instant of the earliest pending timer.
+    ///
+    /// Takes `&mut self` (unlike
+    /// [`EventQueue::peek_time`](crate::EventQueue::peek_time)) because
+    /// peeking may advance the internal scan position.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if !self.ensure_ready() {
+            return None;
+        }
+        Some(self.slab[self.ready[self.ready_head] as usize].at)
+    }
+
+    /// Pop the earliest pending timer.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if !self.ensure_ready() {
+            return None;
+        }
+        Some(self.take_ready_front())
+    }
+
+    /// Pop the earliest timer only if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        if !self.ensure_ready() {
+            return None;
+        }
+        if self.slab[self.ready[self.ready_head] as usize].at > now {
+            return None;
+        }
+        Some(self.take_ready_front())
+    }
+
+    fn take_ready_front(&mut self) -> (SimTime, E) {
+        let cell = self.ready[self.ready_head];
+        self.ready_head += 1;
+        if self.ready_head == self.ready.len() {
+            self.ready.clear();
+            self.ready_head = 0;
+        }
+        let node = &mut self.slab[cell as usize];
+        node.loc = Loc::Free;
+        let at = node.at;
+        let ev = node.event.take().expect("ready entry without event");
+        self.free.push(cell);
+        self.len -= 1;
+        (at, ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut w = TimerWheel::new();
+        w.insert(SimTime::from_secs(3), "c");
+        w.insert(SimTime::from_secs(1), "a");
+        w.insert(SimTime::from_secs(2), "b");
+        assert_eq!(w.pop().unwrap().1, "a");
+        assert_eq!(w.pop().unwrap().1, "b");
+        assert_eq!(w.pop().unwrap().1, "c");
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut w = TimerWheel::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            w.insert(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(w.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut w = TimerWheel::new();
+        w.insert(SimTime::from_secs(5), "later");
+        assert!(w.pop_due(SimTime::from_secs(4)).is_none());
+        assert_eq!(w.pop_due(SimTime::from_secs(5)).unwrap().1, "later");
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut w = TimerWheel::new();
+        w.insert(SimTime::from_secs(2), ());
+        w.insert(SimTime::from_secs(1) + SimDuration::from_nanos(1), ());
+        let t = w.peek_time().unwrap();
+        assert_eq!(w.pop().unwrap().0, t);
+    }
+
+    #[test]
+    fn past_insert_pops_before_later_entries() {
+        let mut w = TimerWheel::new();
+        w.insert(SimTime::from_secs(10), "ten");
+        // Advance the scan position to t=10s…
+        assert_eq!(w.peek_time(), Some(SimTime::from_secs(10)));
+        // …then schedule in the past: must still pop first, at its
+        // original instant.
+        w.insert(SimTime::from_secs(2), "two");
+        assert_eq!(w.pop().unwrap(), (SimTime::from_secs(2), "two"));
+        assert_eq!(w.pop().unwrap(), (SimTime::from_secs(10), "ten"));
+    }
+
+    #[test]
+    fn cancel_removes_and_returns_event() {
+        let mut w = TimerWheel::new();
+        let a = w.insert(SimTime::from_secs(1), "a");
+        let b = w.insert(SimTime::from_secs(2), "b");
+        assert_eq!(w.cancel(a), Some("a"));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop().unwrap().1, "b");
+        // Stale handles (fired or already cancelled) are no-ops.
+        assert_eq!(w.cancel(a), None);
+        assert_eq!(w.cancel(b), None);
+    }
+
+    #[test]
+    fn cancel_from_ready_buffer() {
+        let mut w = TimerWheel::new();
+        let t = SimTime::from_secs(1);
+        let ids: Vec<_> = (0..4).map(|i| w.insert(t, i)).collect();
+        assert_eq!(w.peek_time(), Some(t)); // all four now in ready
+        assert_eq!(w.cancel(ids[1]), Some(1));
+        assert_eq!(w.pop().unwrap().1, 0);
+        assert_eq!(w.pop().unwrap().1, 2);
+        assert_eq!(w.pop().unwrap().1, 3);
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn stale_handle_against_recycled_cell() {
+        let mut w = TimerWheel::new();
+        let a = w.insert(SimTime::from_secs(1), 1u32);
+        w.pop().unwrap();
+        // The freed cell is recycled by the next insert; the old handle
+        // must not cancel the new timer.
+        let b = w.insert(SimTime::from_secs(2), 2u32);
+        assert_eq!(a.cell, b.cell);
+        assert_eq!(w.cancel(a), None);
+        assert_eq!(w.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn far_future_deadline() {
+        let mut w = TimerWheel::new();
+        w.insert(SimTime::FAR_FUTURE, "end");
+        w.insert(SimTime::from_secs(1), "soon");
+        assert_eq!(w.pop().unwrap().1, "soon");
+        assert_eq!(w.pop().unwrap(), (SimTime::FAR_FUTURE, "end"));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut w = TimerWheel::new();
+        w.insert(SimTime::ZERO, 1);
+        w.insert(SimTime::from_secs(100), 2);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        w.clear();
+        assert!(w.is_empty());
+        assert!(w.pop().is_none());
+        // Reusable after clear.
+        w.insert(SimTime::from_secs(1), 3);
+        assert_eq!(w.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn freelist_recycles_cells() {
+        let mut w = TimerWheel::new();
+        for round in 0..10 {
+            for i in 0..8u64 {
+                w.insert(SimTime::from_nanos(round * 1000 + i), i);
+            }
+            while w.pop().is_some() {}
+        }
+        // High-water mark, not total inserts.
+        assert!(w.slab.len() <= 8, "slab grew to {}", w.slab.len());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::queue::EventQueue;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pops are globally sorted by time, FIFO within a timestamp —
+        /// the same contract `queue.rs` pins for `EventQueue`.
+        #[test]
+        fn prop_pops_sorted_fifo(times in proptest::collection::vec(0u64..50, 1..200)) {
+            let mut w = TimerWheel::new();
+            for (i, t) in times.iter().enumerate() {
+                w.insert(SimTime::from_nanos(*t), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((at, seq)) = w.pop() {
+                if let Some((lt, lseq)) = last {
+                    prop_assert!(at >= lt);
+                    if at == lt {
+                        prop_assert!(seq > lseq, "FIFO within a timestamp");
+                    }
+                }
+                last = Some((at, seq));
+            }
+        }
+
+        /// Interleaved push/pop/pop_due against `EventQueue` as the
+        /// oracle: identical output, including boundary behaviour and
+        /// scheduling in the past after the wheel has advanced.
+        #[test]
+        fn prop_matches_event_queue(
+            ops in proptest::collection::vec((0u64..2_000_000, 0u8..3), 1..300),
+        ) {
+            let mut q = EventQueue::new();
+            let mut w = TimerWheel::new();
+            for (i, (t, op)) in ops.iter().enumerate() {
+                match op {
+                    0 => {
+                        q.push(SimTime::from_nanos(*t), i);
+                        w.insert(SimTime::from_nanos(*t), i);
+                    }
+                    1 => prop_assert_eq!(q.pop(), w.pop()),
+                    _ => prop_assert_eq!(
+                        q.pop_due(SimTime::from_nanos(*t)),
+                        w.pop_due(SimTime::from_nanos(*t))
+                    ),
+                }
+                prop_assert_eq!(q.len(), w.len());
+            }
+            loop {
+                let (a, b) = (q.pop(), w.pop());
+                prop_assert_eq!(a, b);
+                if b.is_none() {
+                    break;
+                }
+            }
+        }
+
+        /// Cancel/re-arm equivalence: a timer that is cancelled and
+        /// re-inserted behaves exactly like a queue where the entry was
+        /// never pushed and the replacement was pushed at re-arm time.
+        /// Drives both structures through arm/re-arm/fire cycles.
+        #[test]
+        fn prop_cancel_rearm_matches_oracle(
+            ops in proptest::collection::vec((0u64..100_000, 0u8..4, 0usize..8), 1..200),
+        ) {
+            let mut q: EventQueue<usize> = EventQueue::new();
+            let mut w = TimerWheel::new();
+            // Per-key live handle; the oracle models cancel by tracking
+            // which (key, nonce) pushes are still valid.
+            let mut live: [Option<TimerId>; 8] = [None; 8];
+            let mut q_live: [Option<usize>; 8] = [None; 8];
+            let mut nonce = 0usize;
+            let drain_one = |q: &mut EventQueue<usize>,
+                                 q_live: &mut [Option<usize>; 8]|
+             -> Option<(SimTime, usize)> {
+                // Oracle pop: skip entries whose nonce is stale (the
+                // generation-style lazy invalidation the wheel replaces).
+                while let Some((at, v)) = q.pop() {
+                    let (key, n) = (v >> 32, v & 0xffff_ffff);
+                    if q_live[key] == Some(n) {
+                        q_live[key] = None;
+                        return Some((at, key));
+                    }
+                }
+                None
+            };
+            for (t, op, key) in ops {
+                match op {
+                    0 | 1 => {
+                        // (Re-)arm `key` at t: cancel any live entry first.
+                        if let Some(id) = live[key].take() {
+                            w.cancel(id);
+                        }
+                        q_live[key] = Some(nonce);
+                        q.push(SimTime::from_nanos(t), (key << 32) | nonce);
+                        live[key] = Some(w.insert(SimTime::from_nanos(t), key));
+                        nonce += 1;
+                    }
+                    2 => {
+                        // Cancel `key` if armed.
+                        if let Some(id) = live[key].take() {
+                            prop_assert_eq!(w.cancel(id), Some(key));
+                        }
+                        q_live[key] = None;
+                    }
+                    _ => {
+                        let expect = drain_one(&mut q, &mut q_live);
+                        let got = w.pop();
+                        if let Some((_, k)) = got {
+                            live[k] = None;
+                        }
+                        prop_assert_eq!(expect, got);
+                    }
+                }
+            }
+            loop {
+                let expect = drain_one(&mut q, &mut q_live);
+                let got = w.pop();
+                prop_assert_eq!(expect, got);
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

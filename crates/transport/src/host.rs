@@ -586,7 +586,7 @@ mod tests {
             mp: None,
             data_seq: None,
             data_ack: None,
-            sack: Vec::new(),
+            sack: cellbricks_net::SackBlocks::new(),
         };
         client.host.tcp_listen(2);
         // Addressed to an IP this host doesn't own.

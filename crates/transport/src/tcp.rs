@@ -7,7 +7,7 @@
 //! follows RFC 5681/6298/6582 closely enough to reproduce the dynamics of
 //! Fig. 8 and Fig. 9.
 
-use cellbricks_net::{EndpointAddr, MpSignal, TcpFlags, TcpSegment};
+use cellbricks_net::{EndpointAddr, MpSignal, SackBlocks, TcpFlags, TcpSegment, MAX_SACK_BLOCKS};
 use cellbricks_sim::{SimDuration, SimTime};
 use cellbricks_telemetry as telemetry;
 use std::collections::BTreeMap;
@@ -156,6 +156,9 @@ pub struct Tcp {
     ooo_recent: Option<u64>,
     /// Rotation cursor so successive ACKs advertise different blocks.
     sack_rotate: usize,
+    /// Reusable scratch for flattening `ooo` during SACK-block selection
+    /// (cleared each use; avoids a per-ACK allocation).
+    sack_scratch: Vec<(u64, u64)>,
     /// In-order payload bytes delivered but not yet read by the app.
     delivered_unread: u64,
     peer_fin_seq: Option<u64>,
@@ -263,6 +266,7 @@ impl Tcp {
             ooo: BTreeMap::new(),
             ooo_recent: None,
             sack_rotate: 0,
+            sack_scratch: Vec::new(),
             delivered_unread: 0,
             peer_fin_seq: None,
             ack_pending: false,
@@ -476,9 +480,12 @@ impl Tcp {
             self.snd_una = ack;
             self.rto_retries = 0;
             // Drop scoreboard entries at or below the cumulative ACK.
-            let obsolete: Vec<u64> = self.sacked.range(..ack).map(|(&s2, _)| s2).collect();
-            for key in obsolete {
-                let end = self.sacked.remove(&key).unwrap();
+            // Removing one entry per iteration (rather than collecting
+            // the keys first) keeps this allocation-free; a re-inserted
+            // tail keyed at `ack` is outside `..ack`, so the loop
+            // terminates.
+            while let Some((&key, &end)) = self.sacked.range(..ack).next() {
+                self.sacked.remove(&key);
                 if end > ack {
                     self.sacked.insert(ack, end);
                 }
@@ -941,7 +948,7 @@ impl Tcp {
         // recently received block first, then rotate through the rest so
         // the sender's scoreboard converges on the full picture across
         // successive ACKs.
-        let mut sack: Vec<(u64, u64)> = Vec::with_capacity(3);
+        let mut sack = SackBlocks::new();
         if let Some(recent) = self.ooo_recent {
             if let Some((&rs, &re)) = self.ooo.range(..=recent).next_back() {
                 if re > recent {
@@ -950,14 +957,16 @@ impl Tcp {
             }
         }
         if !self.ooo.is_empty() {
-            let all: Vec<(u64, u64)> = self.ooo.iter().map(|(&s2, &e)| (s2, e)).collect();
-            let n = all.len();
+            self.sack_scratch.clear();
+            self.sack_scratch
+                .extend(self.ooo.iter().map(|(&s2, &e)| (s2, e)));
+            let n = self.sack_scratch.len();
             let mut idx = self.sack_rotate;
             for _ in 0..n {
-                if sack.len() >= 3 {
+                if sack.len() >= MAX_SACK_BLOCKS {
                     break;
                 }
-                let block = all[idx % n];
+                let block = self.sack_scratch[idx % n];
                 if !sack.contains(&block) {
                     sack.push(block);
                 }
@@ -1279,7 +1288,7 @@ pub(crate) mod tests {
             mp: None,
             data_seq: None,
             data_ack: None,
-            sack: Vec::new(),
+            sack: SackBlocks::new(),
         };
         lb.a.on_segment(lb.now, &rst);
         assert!(lb.a.is_aborted());

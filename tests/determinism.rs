@@ -49,6 +49,45 @@ fn bits(row: &Fig7Row) -> [u64; 5] {
     ]
 }
 
+/// Golden bit patterns for the fig7-local rows (5 trials, seed 42),
+/// recorded with the heap-backed scheduler before the timer-wheel
+/// migration. The wheel-backed `Driver` must reproduce them exactly:
+/// the wheel's `(deadline, seq)` dispatch order is contractually
+/// identical to `EventQueue`'s, so any divergence here means the
+/// scheduler reordered events, not that the model changed.
+const FIG7_LOCAL_BL_BITS: [u64; 5] = [
+    0x403d4ccccccccccd, // total = 29.3 ms
+    0x4012000000000000, // ue = 4.5 ms
+    0x400c000000000000, // enb = 3.5 ms
+    0x4034000000000000, // agw+cloud = 20 ms
+    0x3ff4ccccccccccd0, // other
+];
+const FIG7_LOCAL_CB_BITS: [u64; 5] = [
+    0x403b000000000000, // total = 27 ms
+    0x4014000000000000, // ue = 5 ms
+    0x3ff0000000000000, // enb = 1 ms
+    0x40344ccccccccccd, // agw+cloud = 20.3 ms
+    0x3fe6666666666660, // other
+];
+
+/// The wheel-backed engine replays fig7-local onto the exact bit
+/// patterns recorded under the pre-wheel heap scheduler.
+#[test]
+fn fig7_wheel_replay_matches_heap_era_golden_bits() {
+    telemetry::enable();
+    let (bl, cb, _) = fig7_local();
+    assert_eq!(
+        bits(&bl),
+        FIG7_LOCAL_BL_BITS,
+        "BL row diverged from the recorded heap-scheduler golden: {bl:?}"
+    );
+    assert_eq!(
+        bits(&cb),
+        FIG7_LOCAL_CB_BITS,
+        "CB row diverged from the recorded heap-scheduler golden: {cb:?}"
+    );
+}
+
 #[test]
 fn fig7_replays_bit_identically() {
     // Telemetry must be on so the scheduler counters actually advance.
