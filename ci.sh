@@ -18,6 +18,19 @@ run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release --workspace
 run cargo test -q --workspace
 
+# Crypto op-count gate: signature verification through the precomputed
+# tables must spend at least 5x fewer field multiplications than the
+# seed double-and-add path it replaced. The tally (a thread-local
+# Fe::mul/Fe::square counter behind the `op-count` feature) is exact and
+# deterministic, so — unlike wall-clock — this is a hard gate.
+run cargo test --release -q -p cellbricks-crypto --features op-count \
+    op_count_gate -- --nocapture
+
+# Microbenchmark smoke: the ed25519/sealed-box criterion harness must
+# run end to end. Its numbers are informational (±20% noise on the CI
+# box); the op-count gate above is the regression check.
+run cargo bench -q -p cellbricks-crypto --bench ed25519
+
 # Smoke-check the telemetry pipeline end to end: a short fig7 run must
 # produce a metrics snapshot with the per-phase attach histograms.
 run cargo run --release -q -p cellbricks-bench --bin exp_fig7 -- --trials 3

@@ -102,6 +102,10 @@ struct ScaleResult {
     p95_ms: f64,
     max_ms: f64,
     auths_per_sec: f64,
+    /// Authorizations per wall-clock second: the host-side cost of the
+    /// burst (dominated by the broker's SAP crypto), as opposed to
+    /// `auths_per_sec` which is paced by simulated service delays.
+    auths_per_sec_wall: f64,
 }
 
 struct EngineResult {
@@ -296,7 +300,9 @@ fn run_scale(n: usize, seed: u64) -> ScaleResult {
         ue.start_attach(SimTime::ZERO, "tower-1.example", AGW_SIG);
     }
     let mut driver = Driver::new();
+    let t0 = std::time::Instant::now();
     sw.run_to(&mut driver, SimTime::from_secs(60));
+    let wall = t0.elapsed();
 
     let latencies: Vec<f64> = sw
         .ues
@@ -306,6 +312,9 @@ fn run_scale(n: usize, seed: u64) -> ScaleResult {
         .collect();
     let attached = sw.ues.iter().filter(|u| u.is_attached()).count();
     let max_ms = latencies.iter().cloned().fold(0.0, f64::max);
+    let auths_per_sec_wall = attached as f64 / wall.as_secs_f64().max(1e-9);
+    telemetry::gauge(format!("exp_scale.attach.n{n}.auths_per_sec_wall"))
+        .set(auths_per_sec_wall as i64);
     ScaleResult {
         n,
         attached,
@@ -314,6 +323,7 @@ fn run_scale(n: usize, seed: u64) -> ScaleResult {
         max_ms,
         // The burst completes when the slowest attach finishes.
         auths_per_sec: attached as f64 / (max_ms / 1e3),
+        auths_per_sec_wall,
     }
 }
 
@@ -368,12 +378,12 @@ fn main() {
     let seed = cellbricks_bench::arg_u64("--seed", 42);
     let smoke = std::env::args().any(|a| a == "--smoke");
     println!("Scale — N UEs attaching simultaneously through one bTelco + broker");
-    println!("{}", "-".repeat(72));
+    println!("{}", "-".repeat(86));
     println!(
-        "{:>6} {:>9} {:>12} {:>12} {:>12} {:>12}",
-        "N", "attached", "mean (ms)", "p95 (ms)", "max (ms)", "auth/s"
+        "{:>6} {:>9} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "N", "attached", "mean (ms)", "p95 (ms)", "max (ms)", "auth/s", "auth/s (wall)"
     );
-    println!("{}", "-".repeat(72));
+    println!("{}", "-".repeat(86));
     let table_ns: &[usize] = if smoke {
         &[1, 5, 25]
     } else {
@@ -382,18 +392,21 @@ fn main() {
     for &n in table_ns {
         let r = run_scale(n, seed);
         println!(
-            "{:>6} {:>9} {:>12.1} {:>12.1} {:>12.1} {:>12.0}",
-            r.n, r.attached, r.mean_ms, r.p95_ms, r.max_ms, r.auths_per_sec
+            "{:>6} {:>9} {:>12.1} {:>12.1} {:>12.1} {:>12.0} {:>14.0}",
+            r.n, r.attached, r.mean_ms, r.p95_ms, r.max_ms, r.auths_per_sec, r.auths_per_sec_wall
         );
         assert_eq!(r.attached, r.n, "all UEs must attach");
     }
-    println!("{}", "-".repeat(72));
+    println!("{}", "-".repeat(86));
     println!(
         "reading: every UE attaches; latency grows linearly once the burst\n\
          saturates the broker's single service queue (~2 ms/authorization\n\
          here), i.e. the broker — an ordinary web service — is the scaling\n\
          bottleneck, exactly the architecture's intent (paper §3: brokers\n\
-         need no cellular infrastructure and shard like any online service)."
+         need no cellular infrastructure and shard like any online service).\n\
+         auth/s (wall) is the host-side rate of the same burst — the real\n\
+         Ed25519/sealed-box bill, dominated by the broker's batched SAP\n\
+         verify — as opposed to auth/s, which is paced by simulated delays."
     );
 
     println!();

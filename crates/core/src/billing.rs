@@ -99,21 +99,43 @@ impl TrafficReport {
 
     /// Broker side: open and verify a sealed report against the expected
     /// reporter key. `None` on any tampering or key mismatch.
+    ///
+    /// Goes through the verifier-key cache: the broker checks every
+    /// report from a subscriber or bTelco against the same long-lived
+    /// key, so the point decompression and odd-multiple table amortize
+    /// across the session.
     #[must_use]
     pub fn open_and_verify(
         bytes: &[u8],
         broker_sk: &X25519SecretKey,
         reporter_pk: &VerifyingKey,
     ) -> Option<TrafficReport> {
+        let (report, body, sig) = TrafficReport::open_deferring_verify(bytes, broker_sk)?;
+        if !reporter_pk.verify_cached(&body, &sig) {
+            return None;
+        }
+        Some(report)
+    }
+
+    /// Broker side, bulk ingest: open and decode a sealed report but
+    /// leave the signature unchecked, returning the signed body bytes and
+    /// signature so the caller can fold them into one Ed25519 batch
+    /// (`cellbricks_crypto::verify_batch`) spanning many reports.
+    #[must_use]
+    pub fn open_deferring_verify(
+        bytes: &[u8],
+        broker_sk: &X25519SecretKey,
+    ) -> Option<(TrafficReport, Vec<u8>, Signature)> {
         let sealed = SealedBox::from_bytes(bytes)?;
         let plain = open(broker_sk, &sealed).ok()?;
         let mut r = Reader::new(&plain);
         let body = r.get_bytes()?;
         let sig = Signature(r.get_fixed::<64>()?);
-        if !r.is_empty() || !reporter_pk.verify(&body, &sig) {
+        if !r.is_empty() {
             return None;
         }
-        TrafficReport::decode(&body)
+        let report = TrafficReport::decode(&body)?;
+        Some((report, body, sig))
     }
 }
 

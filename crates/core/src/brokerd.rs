@@ -12,7 +12,7 @@ use crate::principal::{BrokerKeys, Identity};
 use crate::reputation::ReputationSystem;
 use crate::sap::{self, AuthReqT, SubscriberEntry};
 use bytes::Bytes;
-use cellbricks_crypto::ed25519::VerifyingKey;
+use cellbricks_crypto::ed25519::{verify_batch, BatchItem, VerifyingKey};
 use cellbricks_crypto::x25519::X25519PublicKey;
 use cellbricks_epc::wire::{Reader, Writer};
 use cellbricks_net::{Endpoint, EndpointFault, NodeId, Packet, PacketKind};
@@ -360,40 +360,52 @@ impl Brokerd {
         }
     }
 
+    /// The key a report for `session_id`/`from_ue` must verify under.
+    fn reporter_pk(&self, session_id: u64, from_ue: bool) -> Option<VerifyingKey> {
+        let session = self.sessions.get(&session_id)?;
+        if from_ue {
+            self.subscribers.get(&session.user).map(|rec| rec.sign_pk)
+        } else {
+            Some(session.telco_sign_pk)
+        }
+    }
+
     fn handle_report(&mut self, session_id: u64, from_ue: bool, sealed: &[u8]) {
+        // Touch the rejection counter up front so it is registered (at 0)
+        // even in runs where every report verifies.
         let claims_rejected = telemetry::counter("core.billing.claims_rejected");
-        let Some(session) = self.sessions.get_mut(&session_id) else {
+        let Some(reporter_pk) = self.reporter_pk(session_id, from_ue) else {
             self.bad_reports += 1;
             claims_rejected.inc();
             return;
         };
-        let reporter_pk = if from_ue {
-            match self.subscribers.get(&session.user) {
-                Some(rec) => rec.sign_pk,
-                None => {
-                    self.bad_reports += 1;
-                    claims_rejected.inc();
-                    return;
-                }
-            }
-        } else {
-            session.telco_sign_pk
-        };
-        let Some(report) =
-            TrafficReport::open_and_verify(sealed, &self.cfg.keys.encrypt, &reporter_pk)
-        else {
-            self.bad_reports += 1;
-            claims_rejected.inc();
-            if from_ue {
-                // A UE submitting unverifiable reports goes on the
-                // suspect list (paper §4.3).
+        match TrafficReport::open_and_verify(sealed, &self.cfg.keys.encrypt, &reporter_pk) {
+            Some(report) => self.accept_report(session_id, from_ue, report),
+            None => self.reject_unverifiable(session_id, from_ue),
+        }
+    }
+
+    fn reject_unverifiable(&mut self, session_id: u64, from_ue: bool) {
+        self.bad_reports += 1;
+        telemetry::counter("core.billing.claims_rejected").inc();
+        if from_ue {
+            // A UE submitting unverifiable reports goes on the
+            // suspect list (paper §4.3).
+            if let Some(session) = self.sessions.get(&session_id) {
                 self.reputation.mark_suspect(session.user);
             }
+        }
+    }
+
+    /// Book a report whose signature has already been checked (either
+    /// individually or as part of an Ed25519 batch).
+    fn accept_report(&mut self, session_id: u64, from_ue: bool, report: TrafficReport) {
+        let Some(session) = self.sessions.get_mut(&session_id) else {
             return;
         };
         if report.session_id != session_id {
             self.bad_reports += 1;
-            claims_rejected.inc();
+            telemetry::counter("core.billing.claims_rejected").inc();
             return;
         }
         let seq = report.seq;
@@ -428,6 +440,56 @@ impl Brokerd {
             session.pending_telco.remove(&seq);
             self.cycles_checked += 1;
             self.reputation.record_cycle(telco, verdict);
+        }
+    }
+
+    /// Opt-in bulk ingest for traffic reports: unseal every report, then
+    /// check all of their signatures as one Ed25519 batch
+    /// ([`cellbricks_crypto::verify_batch`]) instead of one Strauss
+    /// chain each. Reports that fail structurally (unknown session,
+    /// unsealing or parse failure) — and every report of a batch whose
+    /// combined check fails — go through the per-report path, so
+    /// accounting, suspect-marking and telemetry end up exactly as if
+    /// each report had been handled individually.
+    pub fn ingest_reports(&mut self, reports: &[(u64, bool, Bytes)]) {
+        // Same eager registration as `handle_report`.
+        let _ = telemetry::counter("core.billing.claims_rejected");
+        let mut verifiable = Vec::with_capacity(reports.len());
+        let mut structural_failures = Vec::new();
+        for (i, (session_id, from_ue, sealed)) in reports.iter().enumerate() {
+            let opened = self.reporter_pk(*session_id, *from_ue).and_then(|pk| {
+                TrafficReport::open_deferring_verify(sealed, &self.cfg.keys.encrypt)
+                    .map(|(report, body, sig)| (report, body, sig, pk))
+            });
+            match opened {
+                Some(item) => verifiable.push((i, item)),
+                None => structural_failures.push(i),
+            }
+        }
+        let batch_ok = {
+            let items: Vec<BatchItem<'_>> = verifiable
+                .iter()
+                .map(|(_, (_, body, sig, pk))| BatchItem {
+                    msg: body,
+                    sig: *sig,
+                    key: *pk,
+                })
+                .collect();
+            verify_batch(&items)
+        };
+        for (i, (report, _, _, _)) in verifiable {
+            let (session_id, from_ue, ref sealed) = reports[i];
+            if batch_ok {
+                self.accept_report(session_id, from_ue, report);
+            } else {
+                // At least one signature in the batch is bad; re-check
+                // each report individually to attribute the failures.
+                self.handle_report(session_id, from_ue, sealed);
+            }
+        }
+        for i in structural_failures {
+            let (session_id, from_ue, ref sealed) = reports[i];
+            self.handle_report(session_id, from_ue, sealed);
         }
     }
 }
@@ -558,6 +620,119 @@ mod tests {
         brokerd.handle_packet(SimTime::ZERO, Packet::control(src, dst, wire), &mut sink);
         assert_eq!(brokerd.auth_ok, 1, "replay must not create a session");
         assert_eq!(brokerd.auth_err, 1);
+    }
+
+    /// A world with one UE attached (session id 1), for report tests.
+    fn attached_world() -> (Brokerd, UeKeys, TelcoKeys, BrokerKeys, SimRng) {
+        let mut rng = SimRng::new(7);
+        let ca = CertificateAuthority::from_seed([0xCA; 32]);
+        let broker_keys = BrokerKeys::generate("broker.example", &ca, &mut rng);
+        let telco_keys = TelcoKeys::generate("tower-1.example", &ca, &mut rng);
+        let ue_keys = UeKeys::generate(&mut rng);
+        let mut brokerd = Brokerd::new(
+            cellbricks_net::NodeId(0),
+            BrokerdConfig {
+                ip: Ipv4Addr::new(172, 16, 0, 1),
+                keys: broker_keys.clone(),
+                ca: ca.public_key(),
+                proc_delay: SimDuration::ZERO,
+                epsilon: 0.01,
+            },
+            rng.fork(),
+        );
+        let (spk, epk) = ue_keys.public();
+        brokerd.provision(ue_keys.identity(), spk, epk, 1_000_000);
+        let (req_u, _) = sap::ue_build_request(
+            &ue_keys,
+            "broker.example",
+            &broker_keys.encrypt.public_key(),
+            telco_keys.identity(),
+            &mut rng,
+        );
+        let req_t = sap::telco_wrap_request(
+            &telco_keys,
+            req_u,
+            QosCap {
+                max_mbr_bps: 1_000_000,
+                qci_supported: vec![9],
+                li_capable: true,
+            },
+        );
+        let wire = BrokerWire::AuthReq {
+            req_id: 1,
+            req_t: req_t.encode(),
+        }
+        .encode();
+        let mut sink = Vec::new();
+        brokerd.handle_packet(
+            SimTime::ZERO,
+            Packet::control(
+                Ipv4Addr::new(172, 16, 1, 1),
+                Ipv4Addr::new(172, 16, 0, 1),
+                wire,
+            ),
+            &mut sink,
+        );
+        assert_eq!(brokerd.auth_ok, 1);
+        (brokerd, ue_keys, telco_keys, broker_keys, rng)
+    }
+
+    fn report(dl_bytes: u64) -> TrafficReport {
+        TrafficReport {
+            session_id: 1,
+            seq: 0,
+            ul_bytes: 10,
+            dl_bytes,
+            duration_ms: 1_000,
+            dl_loss_ppm: 0,
+            ul_loss_ppm: 0,
+            avg_dl_kbps: 0,
+            avg_ul_kbps: 0,
+            delay_ms: 0,
+        }
+    }
+
+    #[test]
+    fn batch_ingest_settles_a_cycle() {
+        let (mut brokerd, ue_keys, telco_keys, broker_keys, mut rng) = attached_world();
+        let broker_pk = broker_keys.encrypt.public_key();
+        let ue_sealed = report(1_000).sign_and_seal(&ue_keys.sign, &broker_pk, &mut rng);
+        let t_sealed = report(1_000).sign_and_seal(&telco_keys.sign, &broker_pk, &mut rng);
+        brokerd.ingest_reports(&[(1, true, ue_sealed), (1, false, t_sealed)]);
+        assert_eq!(brokerd.cycles_checked, 1);
+        assert_eq!(brokerd.settled_bytes(1), Some((1_000, 10)));
+        assert_eq!(brokerd.bad_reports, 0);
+    }
+
+    #[test]
+    fn batch_ingest_bad_signature_falls_back_to_sequential() {
+        let (mut brokerd, ue_keys, telco_keys, broker_keys, mut rng) = attached_world();
+        let broker_pk = broker_keys.encrypt.public_key();
+        // Forged UE report: seals fine, but is signed by the wrong key,
+        // so only the signature check can catch it — first the combined
+        // batch, then the per-report re-check that attributes it.
+        let forger = UeKeys::generate(&mut rng);
+        let forged = report(500).sign_and_seal(&forger.sign, &broker_pk, &mut rng);
+        let t_sealed = report(1_000).sign_and_seal(&telco_keys.sign, &broker_pk, &mut rng);
+        brokerd.ingest_reports(&[(1, true, forged), (1, false, t_sealed)]);
+        assert_eq!(brokerd.bad_reports, 1, "forged report must be rejected");
+        assert_eq!(brokerd.cycles_checked, 0, "no cycle without the UE side");
+        assert!(
+            brokerd.reputation.is_suspect(ue_keys.identity()),
+            "unverifiable UE report marks the subscriber suspect"
+        );
+    }
+
+    #[test]
+    fn batch_ingest_unknown_session_rejected() {
+        let (mut brokerd, ue_keys, _telco_keys, broker_keys, mut rng) = attached_world();
+        let broker_pk = broker_keys.encrypt.public_key();
+        let mut r = report(100);
+        r.session_id = 99;
+        let sealed = r.sign_and_seal(&ue_keys.sign, &broker_pk, &mut rng);
+        brokerd.ingest_reports(&[(99, true, sealed)]);
+        assert_eq!(brokerd.bad_reports, 1);
+        assert_eq!(brokerd.cycles_checked, 0);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 use crate::principal::{BrokerKeys, Identity, TelcoKeys, UeKeys};
 use bytes::Bytes;
 use cellbricks_crypto::cert::{Certificate, Role};
-use cellbricks_crypto::ed25519::{Signature, VerifyingKey};
+use cellbricks_crypto::ed25519::{verify_batch, BatchItem, Signature, VerifyingKey};
 use cellbricks_crypto::sealed::{open, seal, SealedBox};
 use cellbricks_crypto::x25519::X25519PublicKey;
 use cellbricks_epc::wire::{Reader, Writer};
@@ -445,6 +445,16 @@ pub struct SubscriberEntry {
 /// Step 3 (broker): authenticate U and T, authorize, and build the reply
 /// (Fig. 3, bottom). `lookup` resolves a UE identity from the subscriber
 /// database; `telco_ok` is the reputation-system admission decision.
+///
+/// The three Ed25519 checks — the CA's signature on the bTelco
+/// certificate, the bTelco's signature on `authReqT`, and the UE's
+/// signature on the sealed `authVec` — are folded into a single batch
+/// verification ([`verify_batch`]) on the optimistic path. If anything
+/// at all fails (a bad signature, but also any structural or policy
+/// check), the request is re-run through the sequential seed-order
+/// checks so the returned [`SapError`] is exactly the one the
+/// unbatched implementation produced. Neither path consumes simulation
+/// RNG before the accept decision, so event streams are unchanged.
 #[allow(clippy::too_many_arguments)]
 pub fn broker_process(
     keys: &BrokerKeys,
@@ -455,50 +465,10 @@ pub fn broker_process(
     session_id: u64,
     rng: &mut SimRng,
 ) -> Result<(BrokerReply, AuthVec, QosInfo, [u8; 32]), SapError> {
-    // Authenticate the bTelco: certificate chain, then signature.
-    if req.t_cert.verify(ca, Role::BTelco, 0).is_err() {
-        return Err(SapError::BadTelcoCert);
-    }
-    let signed = AuthReqT::signed_bytes(&req.req_u, &req.qos_cap, &req.t_cert, &req.t_encrypt_pk);
-    if !req.t_cert.key.verify(&signed, &req.sig) {
-        return Err(SapError::BadTelcoSig);
-    }
-    let id_t = Identity::of_name(&req.t_cert.subject);
-
-    // Open and authenticate the UE's request.
-    if req.req_u.broker_name != keys.name {
-        return Err(SapError::WrongBroker);
-    }
-    let vec_bytes = open(&keys.encrypt, &req.req_u.sealed_vec).map_err(|_| SapError::SealedVec)?;
-    let vec = AuthVec::decode(&vec_bytes).ok_or(SapError::Malformed)?;
-    if vec.id_b != keys.identity() {
-        return Err(SapError::WrongBroker);
-    }
-    if vec.id_t != id_t {
-        // The UE asked for a different bTelco than the one forwarding —
-        // a relay / MITM attempt.
-        return Err(SapError::TelcoMismatch);
-    }
-    let entry = lookup(vec.id_u).ok_or(SapError::UnknownUser)?;
-    if !entry
-        .sign_pk
-        .verify(&req.req_u.sealed_vec.to_bytes(), &req.req_u.sig)
-    {
-        return Err(SapError::BadUeSig);
-    }
-
-    // Authorization policy: suspect users and disreputable bTelcos are
-    // refused (paper §4.3).
-    if entry.suspect || !telco_ok(id_t) {
-        return Err(SapError::PolicyRefused);
-    }
-
-    // A lawful-intercept order can only be honoured by a capable bTelco;
-    // otherwise the attachment must be refused (the obligation cannot be
-    // silently dropped).
-    if entry.lawful_intercept && !req.qos_cap.li_capable {
-        return Err(SapError::PolicyRefused);
-    }
+    let (vec, entry) = match broker_authenticate_batched(keys, ca, req, &lookup, &telco_ok) {
+        Some(ok) => ok,
+        None => broker_authenticate_sequential(keys, ca, req, &lookup, &telco_ok)?,
+    };
 
     // Grant QoS: the broker picks within the bTelco's capability and the
     // user's plan.
@@ -555,19 +525,131 @@ pub fn broker_process(
     ))
 }
 
+/// The optimistic attach path: run every cheap structural and policy
+/// check first, then all three signatures as one Ed25519 batch. `None`
+/// means "anything failed" — the caller falls back to
+/// [`broker_authenticate_sequential`], which owns error attribution.
+fn broker_authenticate_batched(
+    keys: &BrokerKeys,
+    ca: &VerifyingKey,
+    req: &AuthReqT,
+    lookup: &impl Fn(Identity) -> Option<SubscriberEntry>,
+    telco_ok: &impl Fn(Identity) -> bool,
+) -> Option<(AuthVec, SubscriberEntry)> {
+    req.t_cert.check_role_and_expiry(Role::BTelco, 0).ok()?;
+    let id_t = Identity::of_name(&req.t_cert.subject);
+    if req.req_u.broker_name != keys.name {
+        return None;
+    }
+    let vec_bytes = open(&keys.encrypt, &req.req_u.sealed_vec).ok()?;
+    let vec = AuthVec::decode(&vec_bytes)?;
+    if vec.id_b != keys.identity() || vec.id_t != id_t {
+        return None;
+    }
+    let entry = lookup(vec.id_u)?;
+    if entry.suspect || !telco_ok(id_t) {
+        return None;
+    }
+    if entry.lawful_intercept && !req.qos_cap.li_capable {
+        return None;
+    }
+    let cert_tbs = req.t_cert.tbs();
+    let signed = AuthReqT::signed_bytes(&req.req_u, &req.qos_cap, &req.t_cert, &req.t_encrypt_pk);
+    let sealed_bytes = req.req_u.sealed_vec.to_bytes();
+    verify_batch(&[
+        BatchItem {
+            msg: &cert_tbs,
+            sig: req.t_cert.signature,
+            key: *ca,
+        },
+        BatchItem {
+            msg: &signed,
+            sig: req.sig,
+            key: req.t_cert.key,
+        },
+        BatchItem {
+            msg: &sealed_bytes,
+            sig: req.req_u.sig,
+            key: entry.sign_pk,
+        },
+    ])
+    .then_some((vec, entry))
+}
+
+/// The seed-order checks, one at a time, attributing the first failure.
+/// Signature checks go through the verifier-key cache (result-identical
+/// to uncached verification).
+fn broker_authenticate_sequential(
+    keys: &BrokerKeys,
+    ca: &VerifyingKey,
+    req: &AuthReqT,
+    lookup: &impl Fn(Identity) -> Option<SubscriberEntry>,
+    telco_ok: &impl Fn(Identity) -> bool,
+) -> Result<(AuthVec, SubscriberEntry), SapError> {
+    // Authenticate the bTelco: certificate chain, then signature.
+    if req.t_cert.verify_cached(ca, Role::BTelco, 0).is_err() {
+        return Err(SapError::BadTelcoCert);
+    }
+    let signed = AuthReqT::signed_bytes(&req.req_u, &req.qos_cap, &req.t_cert, &req.t_encrypt_pk);
+    if !req.t_cert.key.verify_cached(&signed, &req.sig) {
+        return Err(SapError::BadTelcoSig);
+    }
+    let id_t = Identity::of_name(&req.t_cert.subject);
+
+    // Open and authenticate the UE's request.
+    if req.req_u.broker_name != keys.name {
+        return Err(SapError::WrongBroker);
+    }
+    let vec_bytes = open(&keys.encrypt, &req.req_u.sealed_vec).map_err(|_| SapError::SealedVec)?;
+    let vec = AuthVec::decode(&vec_bytes).ok_or(SapError::Malformed)?;
+    if vec.id_b != keys.identity() {
+        return Err(SapError::WrongBroker);
+    }
+    if vec.id_t != id_t {
+        // The UE asked for a different bTelco than the one forwarding —
+        // a relay / MITM attempt.
+        return Err(SapError::TelcoMismatch);
+    }
+    let entry = lookup(vec.id_u).ok_or(SapError::UnknownUser)?;
+    if !entry
+        .sign_pk
+        .verify_cached(&req.req_u.sealed_vec.to_bytes(), &req.req_u.sig)
+    {
+        return Err(SapError::BadUeSig);
+    }
+
+    // Authorization policy: suspect users and disreputable bTelcos are
+    // refused (paper §4.3).
+    if entry.suspect || !telco_ok(id_t) {
+        return Err(SapError::PolicyRefused);
+    }
+
+    // A lawful-intercept order can only be honoured by a capable bTelco;
+    // otherwise the attachment must be refused (the obligation cannot be
+    // silently dropped).
+    if entry.lawful_intercept && !req.qos_cap.li_capable {
+        return Err(SapError::PolicyRefused);
+    }
+    Ok((vec, entry))
+}
+
 /// Step 3→4 (bTelco): verify the broker's reply and extract authorization.
+///
+/// Both signature checks go through the verifier-key cache: a bTelco
+/// checks every reply against the same CA and (typically few) broker
+/// keys, so the point decompressions amortize across attachments.
 pub fn telco_verify_reply(
     keys: &TelcoKeys,
     ca: &VerifyingKey,
     reply: &BrokerReply,
 ) -> Result<RespTBody, SapError> {
-    if reply.b_cert.verify(ca, Role::Broker, 0).is_err() {
+    if reply.b_cert.verify_cached(ca, Role::Broker, 0).is_err() {
         return Err(SapError::BadResponse);
     }
     if !reply
         .b_cert
         .key
-        .verify(&reply.resp_t.sealed.to_bytes(), &reply.resp_t.sig)
+        .verify_cached(&reply.resp_t.sealed.to_bytes(), &reply.resp_t.sig)
     {
         return Err(SapError::BadResponse);
     }
@@ -598,7 +680,7 @@ pub fn ue_verify_response(
     expected_t: Identity,
     resp: &SignedSealed,
 ) -> Result<RespUBody, SapError> {
-    if !broker_sign_pk.verify(&resp.sealed.to_bytes(), &resp.sig) {
+    if !broker_sign_pk.verify_cached(&resp.sealed.to_bytes(), &resp.sig) {
         return Err(SapError::BadResponse);
     }
     let body = open(&keys.encrypt, &resp.sealed).map_err(|_| SapError::BadResponse)?;

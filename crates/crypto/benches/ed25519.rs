@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks for the control-plane crypto hot paths:
+//! sign, single verify (cold-cache and cached), a 32-signature batch
+//! verify, and the sealed-box round trip. `ci.sh` runs this as a smoke
+//! test; numbers on the 1-core CI box carry ±20% noise, so treat them
+//! as ballpark (the deterministic op-count gate is the hard check).
+
+use cellbricks_crypto::{open, seal, verify_batch, BatchItem, SigningKey, X25519SecretKey};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_sign(c: &mut Criterion) {
+    let sk = SigningKey::from_seed([1u8; 32]);
+    let msg = [0xa5u8; 96];
+    c.bench_function("ed25519/sign", |b| {
+        b.iter(|| black_box(sk.sign(black_box(&msg))));
+    });
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let sk = SigningKey::from_seed([2u8; 32]);
+    let vk = sk.verifying_key();
+    let msg = [0x5au8; 96];
+    let sig = sk.sign(&msg);
+    assert!(vk.verify(&msg, &sig));
+    c.bench_function("ed25519/verify", |b| {
+        b.iter(|| assert!(vk.verify(black_box(&msg), black_box(&sig))));
+    });
+    c.bench_function("ed25519/verify_cached", |b| {
+        b.iter(|| assert!(vk.verify_cached(black_box(&msg), black_box(&sig))));
+    });
+}
+
+fn bench_verify_batch(c: &mut Criterion) {
+    let keys: Vec<SigningKey> = (0..32u8).map(|i| SigningKey::from_seed([i; 32])).collect();
+    let msgs: Vec<Vec<u8>> = (0..32u8).map(|i| vec![i; 64]).collect();
+    let items: Vec<BatchItem<'_>> = keys
+        .iter()
+        .zip(msgs.iter())
+        .map(|(k, m)| BatchItem {
+            msg: m,
+            sig: k.sign(m),
+            key: k.verifying_key(),
+        })
+        .collect();
+    assert!(verify_batch(&items));
+    c.bench_function("ed25519/verify_batch_32", |b| {
+        b.iter(|| assert!(verify_batch(black_box(&items))));
+    });
+}
+
+fn bench_sealed_box(c: &mut Criterion) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let recipient = X25519SecretKey::generate(&mut rng);
+    let recipient_pk = recipient.public_key();
+    let msg = [0x3cu8; 128];
+    let boxed = seal(&mut rng, &recipient_pk, &msg);
+    assert_eq!(open(&recipient, &boxed).expect("open"), msg);
+    c.bench_function("sealed/seal", |b| {
+        b.iter(|| black_box(seal(&mut rng, &recipient_pk, black_box(&msg))));
+    });
+    c.bench_function("sealed/open", |b| {
+        b.iter(|| black_box(open(&recipient, black_box(&boxed)).expect("open")));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sign,
+    bench_verify,
+    bench_verify_batch,
+    bench_sealed_box
+);
+criterion_main!(benches);

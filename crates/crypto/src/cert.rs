@@ -122,15 +122,47 @@ impl CertificateAuthority {
 }
 
 impl Certificate {
+    /// The canonical to-be-signed byte encoding the CA signature covers.
+    /// Exposed so batch verifiers can include certificate signatures in
+    /// an Ed25519 batch alongside message signatures.
+    #[must_use]
+    pub fn tbs(&self) -> Vec<u8> {
+        tbs_bytes(&self.subject, self.role, &self.key, self.not_after)
+    }
+
     /// Verify this certificate against `ca`, requiring `role`, at time `now`.
     ///
     /// # Errors
     /// [`CertificateError`] describing the first check that failed.
     pub fn verify(&self, ca: &VerifyingKey, role: Role, now: u64) -> Result<(), CertificateError> {
-        let tbs = tbs_bytes(&self.subject, self.role, &self.key, self.not_after);
-        if !ca.verify(&tbs, &self.signature) {
-            return Err(CertificateError::BadSignature);
-        }
+        let sig_ok = ca.verify(&self.tbs(), &self.signature);
+        self.finish_checks(sig_ok, role, now)
+    }
+
+    /// [`verify`](Self::verify) through the verifier-key cache. A relying
+    /// party checks every certificate against the same CA key, so after
+    /// the first call the CA point decompression and odd-multiple table
+    /// are free. Results are identical to `verify`.
+    ///
+    /// # Errors
+    /// [`CertificateError`] describing the first check that failed.
+    pub fn verify_cached(
+        &self,
+        ca: &VerifyingKey,
+        role: Role,
+        now: u64,
+    ) -> Result<(), CertificateError> {
+        let sig_ok = ca.verify_cached(&self.tbs(), &self.signature);
+        self.finish_checks(sig_ok, role, now)
+    }
+
+    /// The non-signature half of [`verify`](Self::verify): expiry and
+    /// role. For callers that defer the CA signature to an Ed25519 batch
+    /// ([`tbs`](Self::tbs) + [`Certificate::signature`] + the CA key).
+    ///
+    /// # Errors
+    /// [`CertificateError::Expired`] or [`CertificateError::WrongRole`].
+    pub fn check_role_and_expiry(&self, role: Role, now: u64) -> Result<(), CertificateError> {
         if self.not_after < now {
             return Err(CertificateError::Expired);
         }
@@ -138,6 +170,13 @@ impl Certificate {
             return Err(CertificateError::WrongRole);
         }
         Ok(())
+    }
+
+    fn finish_checks(&self, sig_ok: bool, role: Role, now: u64) -> Result<(), CertificateError> {
+        if !sig_ok {
+            return Err(CertificateError::BadSignature);
+        }
+        self.check_role_and_expiry(role, now)
     }
 }
 
@@ -163,6 +202,35 @@ mod tests {
             100,
         );
         assert!(cert.verify(&ca.public_key(), Role::Broker, 50).is_ok());
+        assert!(cert
+            .verify_cached(&ca.public_key(), Role::Broker, 50)
+            .is_ok());
+    }
+
+    #[test]
+    fn cached_verify_matches_uncached() {
+        let ca = ca();
+        let cert = ca.issue(
+            "broker.example",
+            Role::Broker,
+            subject_key().verifying_key(),
+            100,
+        );
+        let pk = ca.public_key();
+        assert_eq!(
+            cert.verify(&pk, Role::Broker, 101),
+            cert.verify_cached(&pk, Role::Broker, 101)
+        );
+        assert_eq!(
+            cert.verify(&pk, Role::BTelco, 50),
+            cert.verify_cached(&pk, Role::BTelco, 50)
+        );
+        let mut forged = cert.clone();
+        forged.subject = "evil.example".into();
+        assert_eq!(
+            forged.verify(&pk, Role::Broker, 50),
+            forged.verify_cached(&pk, Role::Broker, 50)
+        );
     }
 
     #[test]

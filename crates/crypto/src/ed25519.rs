@@ -6,7 +6,10 @@
 //! (paper Fig. 2–3). Traffic reports are likewise signed on the baseband.
 
 use crate::field::Fe;
+use crate::metrics;
+use crate::precomp;
 use crate::sha2::Sha512;
+use std::sync::Arc;
 
 /// Group order L = 2²⁵² + 27742317777372353535851937790883648493,
 /// little-endian u64 limbs.
@@ -22,7 +25,6 @@ const L: [u64; 4] = [
 struct Scalar([u64; 4]);
 
 impl Scalar {
-    #[cfg(test)]
     const ZERO: Scalar = Scalar([0; 4]);
 
     fn from_bytes_wide(bytes: &[u8; 64]) -> Scalar {
@@ -146,16 +148,19 @@ impl Scalar {
 
 /// An Ed25519 curve point in extended twisted-Edwards coordinates
 /// (X : Y : Z : T) with x = X/Z, y = Y/Z, xy = T/Z.
+///
+/// Crate-visible so [`crate::precomp`] can run its table-driven scalar
+/// multiplication over the same representation.
 #[derive(Clone, Copy, Debug)]
-struct Point {
-    x: Fe,
-    y: Fe,
-    z: Fe,
-    t: Fe,
+pub(crate) struct Point {
+    pub(crate) x: Fe,
+    pub(crate) y: Fe,
+    pub(crate) z: Fe,
+    pub(crate) t: Fe,
 }
 
 impl Point {
-    fn identity() -> Point {
+    pub(crate) fn identity() -> Point {
         Point {
             x: Fe::ZERO,
             y: Fe::ONE,
@@ -164,7 +169,7 @@ impl Point {
         }
     }
 
-    fn base() -> Point {
+    pub(crate) fn base() -> Point {
         static CACHE: std::sync::OnceLock<Point> = std::sync::OnceLock::new();
         *CACHE.get_or_init(|| {
             // The standard base point: y = 4/5, x even. Its compressed
@@ -177,6 +182,11 @@ impl Point {
     }
 
     /// add-2008-hwcd-3 for a = −1 twisted Edwards curves.
+    ///
+    /// Production scalar multiplication now lives in [`crate::precomp`];
+    /// the generic add/double/double-and-add below are retained for the
+    /// unit tests and the seed-path oracle.
+    #[cfg(test)]
     fn add(&self, other: &Point) -> Point {
         let d2 = Fe::edwards_2d();
         let a = self.y.sub(self.x).mul(other.y.sub(other.x));
@@ -196,6 +206,7 @@ impl Point {
     }
 
     /// dbl-2008-hwcd for a = −1 twisted Edwards curves.
+    #[cfg(test)]
     fn double(&self) -> Point {
         let a = self.x.square();
         let b = self.y.square();
@@ -215,6 +226,7 @@ impl Point {
 
     /// Variable-time double-and-add scalar multiplication over a 256-bit
     /// scalar given as little-endian bytes.
+    #[cfg(test)]
     fn scalar_mul(&self, scalar: &[u8; 32]) -> Point {
         let mut acc = Point::identity();
         for byte in scalar.iter().rev() {
@@ -228,7 +240,7 @@ impl Point {
         acc
     }
 
-    fn compress(&self) -> [u8; 32] {
+    pub(crate) fn compress(&self) -> [u8; 32] {
         let zinv = self.z.invert();
         let x = self.x.mul(zinv);
         let y = self.y.mul(zinv);
@@ -240,9 +252,20 @@ impl Point {
     }
 
     /// Decompress per RFC 8032 §5.1.3.
-    fn decompress(bytes: &[u8; 32]) -> Option<Point> {
+    ///
+    /// Rejects non-canonical `y` encodings (the 255-bit value with the
+    /// sign bit cleared must be `< p`): RFC 8032 decodes `y` as an
+    /// integer and requires it to be a field element, so `y ≥ p` is an
+    /// invalid encoding. The seed implementation silently reduced such
+    /// values, making point (and hence signature `R` / key `A`)
+    /// encodings malleable.
+    pub(crate) fn decompress(bytes: &[u8; 32]) -> Option<Point> {
         let sign = (bytes[31] >> 7) & 1;
         let y = Fe::from_bytes(bytes);
+        let canonical = y.to_bytes();
+        if canonical[..31] != bytes[..31] || canonical[31] != bytes[31] & 0x7f {
+            return None;
+        }
         // x² = (y² − 1) / (d·y² + 1)
         let y2 = y.square();
         let u = y2.sub(Fe::ONE);
@@ -273,6 +296,7 @@ impl Point {
         })
     }
 
+    #[cfg(test)]
     fn equals(&self, other: &Point) -> bool {
         // (X1/Z1 == X2/Z2) && (Y1/Z1 == Y2/Z2), cross-multiplied.
         self.x.mul(other.z).equals(other.x.mul(self.z))
@@ -323,7 +347,7 @@ impl SigningKey {
         s[31] |= 64;
         let mut prefix = [0u8; 32];
         prefix.copy_from_slice(&h[32..]);
-        let a = Point::base().scalar_mul(&s);
+        let a = precomp::mul_base(&s);
         let public = VerifyingKey(a.compress());
         SigningKey {
             seed,
@@ -355,11 +379,12 @@ impl SigningKey {
     /// Sign `msg` (RFC 8032 §5.1.6, deterministic).
     #[must_use]
     pub fn sign(&self, msg: &[u8]) -> Signature {
+        let t0 = metrics::SIGN.begin();
         let mut h = Sha512::new();
         h.update(&self.prefix);
         h.update(msg);
         let r = Scalar::from_bytes_wide(&h.finalize());
-        let r_point = Point::base().scalar_mul(&r.to_bytes());
+        let r_point = precomp::mul_base(&r.to_bytes());
         let r_enc = r_point.compress();
 
         let mut h = Sha512::new();
@@ -373,21 +398,86 @@ impl SigningKey {
         let mut out = [0u8; 64];
         out[..32].copy_from_slice(&r_enc);
         out[32..].copy_from_slice(&sig_s.to_bytes());
+        metrics::SIGN.finish(t0);
         Signature(out)
     }
 }
 
+/// One (message, signature, claimed signer) triple for [`verify_batch`].
+#[derive(Clone, Copy)]
+pub struct BatchItem<'a> {
+    /// The signed message bytes.
+    pub msg: &'a [u8],
+    /// The signature to check.
+    pub sig: Signature,
+    /// The key the signature is claimed under.
+    pub key: VerifyingKey,
+}
+
 impl VerifyingKey {
     /// Verify `sig` over `msg` (RFC 8032 §5.1.7, cofactorless).
+    ///
+    /// Evaluates `s·B + k·(−A)` in a single Strauss–Shamir doubling
+    /// chain and compares the result against `R` projectively — the
+    /// same group equation as the seed's `s·B = R + k·A`, so the
+    /// accept/reject decision is identical on every input.
     #[must_use]
     pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        let t0 = metrics::VERIFY.begin();
+        let ok = self.verify_inner(msg, sig, None);
+        metrics::VERIFY.finish(t0);
+        ok
+    }
+
+    /// [`verify`](Self::verify) through the global verifier-key cache:
+    /// the first verification under a key decompresses `A` and builds
+    /// its odd-multiple table, later ones reuse both. Accept/reject is
+    /// identical to `verify`; only repeat-key cost differs.
+    #[must_use]
+    pub fn verify_cached(&self, msg: &[u8], sig: &Signature) -> bool {
+        let t0 = metrics::VERIFY.begin();
+        let ok = match self.tables() {
+            Some(tables) => self.verify_inner(msg, sig, Some(&tables)),
+            None => false,
+        };
+        metrics::VERIFY.finish(t0);
+        ok
+    }
+
+    /// Fetch (or build and cache) the verification tables for this key.
+    /// `None` iff the key bytes don't decompress to a curve point; such
+    /// keys are never cached.
+    fn tables(&self) -> Option<Arc<precomp::VerifierTables>> {
+        if let Some(tables) = precomp::key_cache_get(&self.0) {
+            return Some(tables);
+        }
+        let a = Point::decompress(&self.0)?;
+        let tables = Arc::new(precomp::VerifierTables::build(&a));
+        precomp::key_cache_put(self.0, Arc::clone(&tables));
+        Some(tables)
+    }
+
+    fn verify_inner(
+        &self,
+        msg: &[u8],
+        sig: &Signature,
+        cached: Option<&precomp::VerifierTables>,
+    ) -> bool {
         let r_enc: [u8; 32] = sig.0[..32].try_into().unwrap();
         let s_enc: [u8; 32] = sig.0[32..].try_into().unwrap();
         if !Scalar::is_canonical(&s_enc) {
             return false;
         }
-        let Some(a) = Point::decompress(&self.0) else {
-            return false;
+        let built;
+        let tables = match cached {
+            Some(t) => t,
+            None => {
+                let Some(a) = Point::decompress(&self.0) else {
+                    return false;
+                };
+                built = precomp::VerifierTables::build(&a);
+                &built
+            }
         };
         let Some(r) = Point::decompress(&r_enc) else {
             return false;
@@ -398,9 +488,255 @@ impl VerifyingKey {
         h.update(msg);
         let k = Scalar::from_bytes_wide(&h.finalize());
 
-        let lhs = Point::base().scalar_mul(&s_enc);
-        let rhs = r.add(&a.scalar_mul(&k.to_bytes()));
-        lhs.equals(&rhs)
+        precomp::multiscalar_mul_vartime(&s_enc, &[(k.to_bytes(), &tables.neg_a)]).equals_point(&r)
+    }
+}
+
+/// Batch verification: true iff the random-linear-combination check
+/// `Σ zᵢ·(sᵢ·B − Rᵢ − kᵢ·Aᵢ) = 0` passes (plus per-item canonical-S and
+/// decompression checks, which short-circuit to `false`).
+///
+/// The coefficients `zᵢ` are derived deterministically from a SHA-512
+/// transcript over every `(R, A, H(msg))` in the batch — no RNG is
+/// consumed, so calling this cannot perturb the simulation's seeded
+/// random streams. A `true` result is the standard batch guarantee
+/// (forging it requires steering the transcript hash); on `false`,
+/// callers that need per-item verdicts fall back to individual
+/// [`VerifyingKey::verify_cached`] calls.
+///
+/// An empty batch is vacuously valid; a single-item batch degenerates to
+/// `verify_cached`.
+#[must_use]
+pub fn verify_batch(items: &[BatchItem<'_>]) -> bool {
+    let t0 = metrics::VERIFY_BATCH.begin();
+    cellbricks_telemetry::counter("crypto.verify_batch.items").add(items.len() as u64);
+    let ok = verify_batch_inner(items);
+    metrics::VERIFY_BATCH.finish(t0);
+    ok
+}
+
+fn verify_batch_inner(items: &[BatchItem<'_>]) -> bool {
+    if items.is_empty() {
+        return true;
+    }
+    if items.len() == 1 {
+        return items[0].key.verify_cached(items[0].msg, &items[0].sig);
+    }
+
+    // Transcript hash binding every signature, key, and message in the
+    // batch; per-item 128-bit coefficients are squeezed from it by index.
+    let mut transcript = Sha512::new();
+    transcript.update(b"cellbricks.ed25519.batch.v1");
+    for item in items {
+        transcript.update(&item.sig.0[..32]);
+        transcript.update(&item.key.0);
+        transcript.update(&crate::sha2::sha512(item.msg));
+    }
+    let seed = transcript.finalize();
+
+    let mut combined_s = Scalar::ZERO;
+    let mut a_tables = Vec::with_capacity(items.len());
+    let mut r_tables = Vec::with_capacity(items.len());
+    let mut scalars = Vec::with_capacity(2 * items.len());
+    for (i, item) in items.iter().enumerate() {
+        let r_enc: [u8; 32] = item.sig.0[..32].try_into().unwrap();
+        let s_enc: [u8; 32] = item.sig.0[32..].try_into().unwrap();
+        if !Scalar::is_canonical(&s_enc) {
+            return false;
+        }
+        let Some(a_table) = item.key.tables() else {
+            return false;
+        };
+        let Some(r) = Point::decompress(&r_enc) else {
+            return false;
+        };
+
+        let mut h = Sha512::new();
+        h.update(&seed);
+        h.update(&(i as u64).to_le_bytes());
+        let z_wide = h.finalize();
+        let mut z_bytes = [0u8; 32];
+        z_bytes[..16].copy_from_slice(&z_wide[..16]);
+        z_bytes[0] |= 1; // coefficients are odd, hence nonzero
+        let z = Scalar::from_bytes(&z_bytes);
+
+        let mut h = Sha512::new();
+        h.update(&r_enc);
+        h.update(&item.key.0);
+        h.update(item.msg);
+        let k = Scalar::from_bytes_wide(&h.finalize());
+
+        combined_s = combined_s.add(z.mul(Scalar::from_bytes(&s_enc)));
+        scalars.push((z.mul(k).to_bytes(), z.to_bytes()));
+        a_tables.push(a_table);
+        r_tables.push(precomp::VerifierTables::build(&r).neg_a);
+    }
+
+    let mut terms = Vec::with_capacity(2 * items.len());
+    for (i, (zk, z)) in scalars.iter().enumerate() {
+        terms.push((*zk, &a_tables[i].neg_a));
+        terms.push((*z, &r_tables[i]));
+    }
+    precomp::multiscalar_mul_vartime(&combined_s.to_bytes(), &terms).is_identity()
+}
+
+/// The seed implementation's scalar-multiplication path, kept verbatim
+/// as a twofold oracle:
+///
+/// * **bit-identity** — proptests pin the table-driven fixed-base,
+///   w-NAF, and Strauss–Shamir results of [`crate::precomp`] to these
+///   double-and-add results (the same wheel-vs-`EventQueue` pattern the
+///   scheduler rework used);
+/// * **op-count** — the seed code routed every field operation through
+///   `Fe::mul` (squarings were `self.mul(self)`, small-constant scalings
+///   `mul(Fe::from_u64(k))`, and the decompression exponentiations used
+///   the generic square-and-multiply), so running [`verify`] under the
+///   `op-count` counters reproduces the seed path's exact
+///   multiplication count for the CI ≥5× gate.
+///
+/// Like the seed, [`decompress`] here accepts non-canonical `y`
+/// encodings; the strictness fix applies only to the production path.
+#[cfg(any(test, feature = "op-count"))]
+pub mod seed_oracle {
+    use super::{Point, Scalar, Sha512, Signature, VerifyingKey};
+    use crate::field::Fe;
+
+    fn sq(x: Fe) -> Fe {
+        x.mul(x)
+    }
+
+    fn mul_small(x: Fe, k: u32) -> Fe {
+        x.mul(Fe::from_u64(u64::from(k)))
+    }
+
+    fn pow_bytes_le(x: Fe, exp: &[u8; 32]) -> Fe {
+        let mut result = Fe::ONE;
+        for byte in exp.iter().rev() {
+            for bit in (0..8).rev() {
+                result = sq(result);
+                if (byte >> bit) & 1 == 1 {
+                    result = result.mul(x);
+                }
+            }
+        }
+        result
+    }
+
+    fn pow_p58(x: Fe) -> Fe {
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfd;
+        exp[31] = 0x0f;
+        pow_bytes_le(x, &exp)
+    }
+
+    pub(crate) fn add(p: &Point, q: &Point) -> Point {
+        let d2 = Fe::edwards_2d();
+        let a = p.y.sub(p.x).mul(q.y.sub(q.x));
+        let b = p.y.add(p.x).mul(q.y.add(q.x));
+        let c = p.t.mul(d2).mul(q.t);
+        let d = p.z.add(p.z).mul(q.z);
+        let e = b.sub(a);
+        let f = d.sub(c);
+        let g = d.add(c);
+        let h = b.add(a);
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            t: e.mul(h),
+            z: f.mul(g),
+        }
+    }
+
+    fn double(p: &Point) -> Point {
+        let a = sq(p.x);
+        let b = sq(p.y);
+        let c = mul_small(sq(p.z), 2);
+        let d = a.neg();
+        let e = sq(p.x.add(p.y)).sub(a).sub(b);
+        let g = d.add(b);
+        let f = g.sub(c);
+        let h = d.sub(b);
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            t: e.mul(h),
+            z: f.mul(g),
+        }
+    }
+
+    pub(crate) fn scalar_mul(p: &Point, scalar: &[u8; 32]) -> Point {
+        let mut acc = Point::identity();
+        for byte in scalar.iter().rev() {
+            for bit in (0..8).rev() {
+                acc = double(&acc);
+                if (byte >> bit) & 1 == 1 {
+                    acc = add(&acc, p);
+                }
+            }
+        }
+        acc
+    }
+
+    pub(crate) fn decompress(bytes: &[u8; 32]) -> Option<Point> {
+        let sign = (bytes[31] >> 7) & 1;
+        let y = Fe::from_bytes(bytes);
+        let y2 = sq(y);
+        let u = y2.sub(Fe::ONE);
+        let v = Fe::edwards_d().mul(y2).add(Fe::ONE);
+        let v3 = sq(v).mul(v);
+        let v7 = sq(v3).mul(v);
+        let mut x = u.mul(v3).mul(pow_p58(u.mul(v7)));
+        let vx2 = v.mul(sq(x));
+        if vx2.equals(u) {
+            // x is the root.
+        } else if vx2.equals(u.neg()) {
+            x = x.mul(Fe::sqrt_m1());
+        } else {
+            return None;
+        }
+        if x.is_zero() && sign == 1 {
+            return None;
+        }
+        if u64::from(x.is_odd()) != u64::from(sign) {
+            x = x.neg();
+        }
+        Some(Point {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(y),
+        })
+    }
+
+    fn equals(p: &Point, q: &Point) -> bool {
+        p.x.mul(q.z).equals(q.x.mul(p.z)) && p.y.mul(q.z).equals(q.y.mul(p.z))
+    }
+
+    /// RFC 8032 §5.1.7 verification exactly as the seed performed it:
+    /// two full double-and-add scalar multiplications plus two generic
+    /// square-and-multiply decompressions.
+    #[must_use]
+    pub fn verify(key: &VerifyingKey, msg: &[u8], sig: &Signature) -> bool {
+        let r_enc: [u8; 32] = sig.0[..32].try_into().unwrap();
+        let s_enc: [u8; 32] = sig.0[32..].try_into().unwrap();
+        if !Scalar::is_canonical(&s_enc) {
+            return false;
+        }
+        let Some(a) = decompress(&key.0) else {
+            return false;
+        };
+        let Some(r) = decompress(&r_enc) else {
+            return false;
+        };
+        let mut h = Sha512::new();
+        h.update(&r_enc);
+        h.update(&key.0);
+        h.update(msg);
+        let k = Scalar::from_bytes_wide(&h.finalize());
+
+        let lhs = scalar_mul(&Point::base(), &s_enc);
+        let rhs = add(&r, &scalar_mul(&a, &k.to_bytes()));
+        equals(&lhs, &rhs)
     }
 }
 
@@ -557,5 +893,258 @@ mod tests {
         }
         let p = Point::base().scalar_mul(&l_bytes);
         assert!(p.equals(&Point::identity()));
+    }
+
+    // ---- strict-encoding regressions (RFC 8032 non-malleability) ----
+
+    #[test]
+    fn non_canonical_y_encodings_rejected() {
+        // y = p ≡ 0 and y = p + 1 ≡ 1: valid field elements after
+        // reduction, but non-canonical encodings — must be rejected.
+        let mut p_enc = [0xffu8; 32];
+        p_enc[0] = 0xed;
+        p_enc[31] = 0x7f;
+        assert!(Point::decompress(&p_enc).is_none());
+        let mut p1_enc = [0xffu8; 32];
+        p1_enc[0] = 0xee;
+        p1_enc[31] = 0x7f;
+        assert!(Point::decompress(&p1_enc).is_none());
+        // The seed path accepted exactly these encodings (the
+        // malleability this PR fixes).
+        assert!(seed_oracle::decompress(&p1_enc).is_some());
+        // The canonical encoding of the same point (identity, y = 1)
+        // still decompresses.
+        let mut canonical = [0u8; 32];
+        canonical[0] = 1;
+        assert!(Point::decompress(&canonical).is_some());
+    }
+
+    #[test]
+    fn non_canonical_r_rejected() {
+        let sk = SigningKey::from_seed([11u8; 32]);
+        let mut sig = sk.sign(b"msg");
+        // Replace R with a non-canonical encoding of the identity.
+        sig.0[..32].copy_from_slice(&{
+            let mut enc = [0xffu8; 32];
+            enc[0] = 0xee;
+            enc[31] = 0x7f;
+            enc
+        });
+        assert!(!sk.verifying_key().verify(b"msg", &sig));
+        assert!(!sk.verifying_key().verify_cached(b"msg", &sig));
+    }
+
+    #[test]
+    fn non_canonical_a_rejected() {
+        let sk = SigningKey::from_seed([12u8; 32]);
+        let sig = sk.sign(b"msg");
+        let mut enc = [0xffu8; 32];
+        enc[0] = 0xee;
+        enc[31] = 0x7f;
+        let bogus = VerifyingKey(enc);
+        assert!(!bogus.verify(b"msg", &sig));
+        assert!(!bogus.verify_cached(b"msg", &sig));
+    }
+
+    #[test]
+    fn small_order_points_decompress_canonically() {
+        // Canonically-encoded small-order points are valid curve points
+        // per RFC 8032 (cofactorless verify does not exclude them); the
+        // strictness fix must not reject them.
+        let mut identity = [0u8; 32];
+        identity[0] = 1; // y = 1: the identity
+        assert!(Point::decompress(&identity).is_some());
+        let mut order2 = [0xffu8; 32];
+        order2[0] = 0xec;
+        order2[31] = 0x7f; // y = p − 1 = −1: the order-2 point
+        assert!(Point::decompress(&order2).is_some());
+        // A small-order key still cannot validate an honest signature.
+        let sk = SigningKey::from_seed([13u8; 32]);
+        let sig = sk.sign(b"msg");
+        assert!(!VerifyingKey(identity).verify(b"msg", &sig));
+    }
+
+    // ---- table-path equivalence and batch verification ----
+
+    #[test]
+    fn verify_cached_matches_verify() {
+        let sk = SigningKey::from_seed([21u8; 32]);
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"cached");
+        // Repeat calls exercise both the miss and hit paths.
+        assert!(vk.verify_cached(b"cached", &sig));
+        assert!(vk.verify_cached(b"cached", &sig));
+        assert!(!vk.verify_cached(b"cachet", &sig));
+        let other = SigningKey::from_seed([22u8; 32]).verifying_key();
+        assert!(!other.verify_cached(b"cached", &sig));
+    }
+
+    #[test]
+    fn batch_accepts_valid_batches() {
+        let msgs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 5 + usize::from(i)]).collect();
+        let keys: Vec<SigningKey> = (0..8u8)
+            .map(|i| SigningKey::from_seed([i + 30; 32]))
+            .collect();
+        let items: Vec<BatchItem<'_>> = msgs
+            .iter()
+            .zip(keys.iter())
+            .map(|(m, k)| BatchItem {
+                msg: m,
+                sig: k.sign(m),
+                key: k.verifying_key(),
+            })
+            .collect();
+        assert!(verify_batch(&items));
+        assert!(verify_batch(&items[..1]));
+        assert!(verify_batch(&[]));
+    }
+
+    #[test]
+    fn batch_rejects_any_bad_item() {
+        let keys: Vec<SigningKey> = (0..4u8)
+            .map(|i| SigningKey::from_seed([i + 50; 32]))
+            .collect();
+        let msg = b"batched attach";
+        let mut items: Vec<BatchItem<'_>> = keys
+            .iter()
+            .map(|k| BatchItem {
+                msg,
+                sig: k.sign(msg),
+                key: k.verifying_key(),
+            })
+            .collect();
+        assert!(verify_batch(&items));
+        // Tampered message on one item sinks the whole batch.
+        items[2].msg = b"batched detach";
+        assert!(!verify_batch(&items));
+        items[2].msg = msg;
+        // Tampered signature likewise.
+        items[1].sig.0[7] ^= 1;
+        assert!(!verify_batch(&items));
+        items[1].sig.0[7] ^= 1;
+        // Wrong key likewise.
+        items[3].key = keys[0].verifying_key();
+        assert!(!verify_batch(&items));
+    }
+
+    #[test]
+    fn batch_rejects_non_canonical_members() {
+        let sk = SigningKey::from_seed([61u8; 32]);
+        let msg = b"strict";
+        let good = BatchItem {
+            msg,
+            sig: sk.sign(msg),
+            key: sk.verifying_key(),
+        };
+        let mut bad_s = good;
+        bad_s.sig.0[63] = 0xff;
+        assert!(!verify_batch(&[good, bad_s]));
+        let mut bad_r = good;
+        bad_r.sig.0[..32].copy_from_slice(&{
+            let mut enc = [0xffu8; 32];
+            enc[0] = 0xee;
+            enc[31] = 0x7f;
+            enc
+        });
+        assert!(!verify_batch(&[good, bad_r]));
+    }
+
+    // ---- seed-oracle equivalence (bit-identity of the new core) ----
+
+    #[test]
+    fn oracle_agrees_on_rfc_vectors() {
+        let sk = SigningKey::from_seed(from_hex32(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        ));
+        let sig = sk.sign(b"");
+        assert!(seed_oracle::verify(&sk.verifying_key(), b"", &sig));
+        assert!(!seed_oracle::verify(&sk.verifying_key(), b"x", &sig));
+    }
+
+    #[test]
+    fn op_count_gate_verify_5x_fewer_field_muls() {
+        use crate::field::opcount;
+        let sk = SigningKey::from_seed([0x42u8; 32]);
+        let msg = b"cellbricks op-count gate";
+        let sig = sk.sign(msg);
+        let vk = sk.verifying_key();
+        // Warm the one-time static tables so the measured run sees only
+        // per-verify work. `verify` does not touch the key cache, so the
+        // count below is the deterministic cold-key cost.
+        assert!(vk.verify(msg, &sig));
+        opcount::reset();
+        assert!(vk.verify(msg, &sig));
+        let fast_muls = opcount::muls();
+        let fast_squares = opcount::squares();
+        opcount::reset();
+        assert!(seed_oracle::verify(&vk, msg, &sig));
+        let seed_muls = opcount::muls();
+        assert_eq!(
+            opcount::squares(),
+            0,
+            "oracle must route every squaring through Fe::mul, as the seed did"
+        );
+        eprintln!(
+            "op-count: seed verify {seed_muls} Fe::mul; table verify {fast_muls} Fe::mul \
+             + {fast_squares} Fe::square; ratio {:.2}",
+            seed_muls as f64 / fast_muls as f64
+        );
+        assert!(
+            seed_muls >= 5 * fast_muls,
+            "op-count gate failed: seed path {seed_muls} Fe::mul vs table path \
+             {fast_muls} Fe::mul (+{fast_squares} Fe::square) — ratio {:.2} < 5.0",
+            seed_muls as f64 / fast_muls as f64
+        );
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_fixed_base_matches_seed_double_and_add(seed in proptest::prelude::any::<[u8; 32]>()) {
+            let mut s = seed;
+            s[31] &= 0x7f; // fixed-base path requires scalars < 2^255
+            let fast = precomp::mul_base(&s).compress();
+            let slow = seed_oracle::scalar_mul(&Point::base(), &s).compress();
+            proptest::prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn prop_strauss_matches_seed_double_and_add(
+            key_seed in proptest::prelude::any::<[u8; 32]>(),
+            s_raw in proptest::prelude::any::<[u8; 32]>(),
+            k_raw in proptest::prelude::any::<[u8; 32]>(),
+        ) {
+            // A random honest public key and reduced scalars.
+            let a_enc = SigningKey::from_seed(key_seed).verifying_key().0;
+            let a = Point::decompress(&a_enc).unwrap();
+            let s = Scalar::from_bytes(&s_raw).to_bytes();
+            let k = Scalar::from_bytes(&k_raw).to_bytes();
+            // Fast: s·B + k·(−A) in one Strauss–Shamir chain.
+            let tables = precomp::VerifierTables::build(&a);
+            let fast = precomp::multiscalar_mul_vartime(&s, &[(k, &tables.neg_a)]);
+            // Slow: the seed's two double-and-add chains.
+            let ka = seed_oracle::scalar_mul(&a, &k);
+            let neg_ka = Point { x: ka.x.neg(), y: ka.y, z: ka.z, t: ka.t.neg() };
+            let slow = seed_oracle::add(&seed_oracle::scalar_mul(&Point::base(), &s), &neg_ka);
+            proptest::prop_assert!(fast.equals_point(&slow));
+        }
+
+        #[test]
+        fn prop_sign_verify_roundtrip_with_batch(
+            seed_a in proptest::prelude::any::<[u8; 32]>(),
+            seed_b in proptest::prelude::any::<[u8; 32]>(),
+            msg in proptest::prelude::any::<[u8; 24]>(),
+        ) {
+            let ka = SigningKey::from_seed(seed_a);
+            let kb = SigningKey::from_seed(seed_b);
+            let sa = ka.sign(&msg);
+            let sb = kb.sign(&msg);
+            proptest::prop_assert!(ka.verifying_key().verify(&msg, &sa));
+            proptest::prop_assert!(seed_oracle::verify(&ka.verifying_key(), &msg, &sa));
+            let items = [
+                BatchItem { msg: &msg, sig: sa, key: ka.verifying_key() },
+                BatchItem { msg: &msg, sig: sb, key: kb.verifying_key() },
+            ];
+            proptest::prop_assert!(verify_batch(&items));
+        }
     }
 }

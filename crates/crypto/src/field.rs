@@ -5,6 +5,52 @@
 //! comfortably in `u128`, and the modulus folds the overflow of limb 4
 //! back into limb 0 multiplied by 19.
 
+/// Deterministic per-thread field-operation counters, compiled in only
+/// under the `op-count` feature. The CI perf gate uses these to prove —
+/// without a stopwatch — that a signature verify performs ≥5× fewer
+/// field multiplications than the seed double-and-add path did.
+///
+/// Accounting convention: `muls` counts calls to [`Fe::mul`] only;
+/// `squares` counts calls to [`Fe::square`]. The seed code routed
+/// squarings and small-constant scalings through `Fe::mul`, so its
+/// whole cost shows up in `muls`; the rebuilt core reports the M/S
+/// split honestly (see DESIGN.md §8).
+#[cfg(any(test, feature = "op-count"))]
+pub mod opcount {
+    use std::cell::Cell;
+
+    thread_local! {
+        static MULS: Cell<u64> = const { Cell::new(0) };
+        static SQUARES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Zero both counters for the current thread.
+    pub fn reset() {
+        MULS.with(|c| c.set(0));
+        SQUARES.with(|c| c.set(0));
+    }
+
+    /// Field multiplications (`Fe::mul`) on this thread since [`reset`].
+    #[must_use]
+    pub fn muls() -> u64 {
+        MULS.with(Cell::get)
+    }
+
+    /// Field squarings (`Fe::square`) on this thread since [`reset`].
+    #[must_use]
+    pub fn squares() -> u64 {
+        SQUARES.with(Cell::get)
+    }
+
+    pub(crate) fn record_mul() {
+        MULS.with(|c| c.set(c.get() + 1));
+    }
+
+    pub(crate) fn record_square() {
+        SQUARES.with(|c| c.set(c.get() + 1));
+    }
+}
+
 /// A field element of GF(2²⁵⁵ − 19) in radix-2⁵¹ representation.
 ///
 /// Invariant maintained by all public constructors and operations:
@@ -166,6 +212,8 @@ impl Fe {
     /// Field multiplication.
     #[must_use]
     pub fn mul(self, rhs: Fe) -> Fe {
+        #[cfg(any(test, feature = "op-count"))]
+        opcount::record_mul();
         let a = &self.0;
         let b = &rhs.0;
         let m = |x: u64, y: u64| u128::from(x) * u128::from(y);
@@ -194,15 +242,58 @@ impl Fe {
     }
 
     /// Field squaring.
+    ///
+    /// Dedicated formula (15 limb products instead of `mul`'s 25); the
+    /// per-column integer sums are identical to `self.mul(self)`, so the
+    /// carry chain produces bit-identical limbs.
     #[must_use]
     pub fn square(self) -> Fe {
-        self.mul(self)
+        #[cfg(any(test, feature = "op-count"))]
+        opcount::record_square();
+        let a = &self.0;
+        let m = |x: u64, y: u64| u128::from(x) * u128::from(y);
+
+        let mut t = [0u128; 5];
+        t[0] = m(a[0], a[0]) + 38 * (m(a[1], a[4]) + m(a[2], a[3]));
+        t[1] = 2 * m(a[0], a[1]) + 38 * m(a[2], a[4]) + 19 * m(a[3], a[3]);
+        t[2] = 2 * m(a[0], a[2]) + m(a[1], a[1]) + 38 * m(a[3], a[4]);
+        t[3] = 2 * (m(a[0], a[3]) + m(a[1], a[2])) + 19 * m(a[4], a[4]);
+        t[4] = 2 * (m(a[0], a[4]) + m(a[1], a[3])) + m(a[2], a[2]);
+
+        let mut out = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..5 {
+            let v = t[i] + carry;
+            out[i] = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        let fold = carry * 19;
+        let v = u128::from(out[0]) + fold;
+        out[0] = (v as u64) & MASK51;
+        out[1] += (v >> 51) as u64;
+        Fe(out).weak_reduce()
     }
 
     /// Multiply by a small constant.
+    ///
+    /// Per-limb scaling: with `k < 2³²` in limb 0 of a field element the
+    /// schoolbook product degenerates to `t[i] = a[i]·k`, so this computes
+    /// exactly the same column sums as `self.mul(Fe::from_u64(k))` did.
     #[must_use]
     pub fn mul_small(self, k: u32) -> Fe {
-        self.mul(Fe::from_u64(u64::from(k)))
+        let k = u128::from(k);
+        let mut out = [0u64; 5];
+        let mut carry: u128 = 0;
+        for (limb, a) in out.iter_mut().zip(self.0) {
+            let v = u128::from(a) * k + carry;
+            *limb = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        let fold = carry * 19;
+        let v = u128::from(out[0]) + fold;
+        out[0] = (v as u64) & MASK51;
+        out[1] += (v >> 51) as u64;
+        Fe(out).weak_reduce()
     }
 
     /// Raise to an arbitrary 256-bit exponent given as 32 little-endian
@@ -221,24 +312,50 @@ impl Fe {
         result
     }
 
-    /// Multiplicative inverse via Fermat: x^(p−2).
-    #[must_use]
-    pub fn invert(self) -> Fe {
-        // p - 2 = 2^255 - 21 -> little-endian bytes: 0xeb, then 0xff × 30, 0x7f.
-        let mut exp = [0xffu8; 32];
-        exp[0] = 0xeb;
-        exp[31] = 0x7f;
-        self.pow_bytes_le(&exp)
+    /// Shared prefix of the [`Fe::invert`] and [`Fe::pow_p58`] addition
+    /// chains (ref10's `pow22501`): returns `(self^(2²⁵⁰−1), self^11)`
+    /// in ~11 multiplications and 249 squarings.
+    fn pow22501(self) -> (Fe, Fe) {
+        let sq_n = |mut x: Fe, n: u32| {
+            for _ in 0..n {
+                x = x.square();
+            }
+            x
+        };
+        let t0 = self.square(); // 2
+        let t1 = self.mul(sq_n(t0, 2)); // 9
+        let z11 = t0.mul(t1); // 11
+        let t1 = t1.mul(z11.square()); // 31 = 2^5 - 1
+        let t1 = sq_n(t1, 5).mul(t1); // 2^10 - 1
+        let t2 = sq_n(t1, 10).mul(t1); // 2^20 - 1
+        let t3 = sq_n(t2, 20).mul(t2); // 2^40 - 1
+        let t3 = sq_n(t3, 10).mul(t1); // 2^50 - 1
+        let t4 = sq_n(t3, 50).mul(t3); // 2^100 - 1
+        let t5 = sq_n(t4, 100).mul(t4); // 2^200 - 1
+        let t5 = sq_n(t5, 50).mul(t3); // 2^250 - 1
+        (t5, z11)
     }
 
-    /// x^((p−5)/8) = x^(2²⁵² − 3), used in Ed25519 point decompression.
+    /// Multiplicative inverse via Fermat: x^(p−2), computed with the
+    /// standard addition chain (~254 squarings + 12 multiplications; the
+    /// seed's generic square-and-multiply burned ~507 `Fe::mul` calls).
+    #[must_use]
+    pub fn invert(self) -> Fe {
+        // p - 2 = 2^255 - 21 = (2^250 - 1)·2^5 + 11.
+        let (t, z11) = self.pow22501();
+        let mut t = t;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        t.mul(z11)
+    }
+
+    /// x^((p−5)/8) = x^(2²⁵² − 3), used in Ed25519 point decompression,
+    /// via the same addition chain: (2²⁵⁰ − 1)·4 + 1.
     #[must_use]
     pub fn pow_p58(self) -> Fe {
-        // 2^252 - 3 -> little-endian bytes: 0xfd, 0xff × 30, 0x0f.
-        let mut exp = [0xffu8; 32];
-        exp[0] = 0xfd;
-        exp[31] = 0x0f;
-        self.pow_bytes_le(&exp)
+        let (t, _) = self.pow22501();
+        t.square().square().mul(self)
     }
 
     /// True iff this element reduces to zero.
@@ -413,6 +530,25 @@ mod tests {
         fn prop_square_matches_mul(a in any::<[u8; 32]>()) {
             let x = Fe::from_bytes(&a);
             prop_assert_eq!(x.square(), x.mul(x));
+        }
+
+        #[test]
+        fn prop_addition_chains_match_generic_pow(a in any::<[u8; 32]>()) {
+            let x = Fe::from_bytes(&a);
+            let mut inv_exp = [0xffu8; 32];
+            inv_exp[0] = 0xeb;
+            inv_exp[31] = 0x7f;
+            prop_assert_eq!(x.invert(), x.pow_bytes_le(&inv_exp));
+            let mut p58_exp = [0xffu8; 32];
+            p58_exp[0] = 0xfd;
+            p58_exp[31] = 0x0f;
+            prop_assert_eq!(x.pow_p58(), x.pow_bytes_le(&p58_exp));
+        }
+
+        #[test]
+        fn prop_mul_small_matches_full_mul(a in any::<[u8; 32]>(), k in any::<u32>()) {
+            let x = Fe::from_bytes(&a);
+            prop_assert_eq!(x.mul_small(k), x.mul(Fe::from_u64(u64::from(k))));
         }
 
         #[test]

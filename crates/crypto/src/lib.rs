@@ -35,12 +35,14 @@ pub mod ed25519;
 pub mod field;
 pub mod hkdf;
 pub mod hmac;
+mod metrics;
+mod precomp;
 pub mod sealed;
 pub mod sha2;
 pub mod x25519;
 
 pub use cert::{Certificate, CertificateAuthority, CertificateError};
-pub use ed25519::{Signature, SigningKey, VerifyingKey};
+pub use ed25519::{verify_batch, BatchItem, Signature, SigningKey, VerifyingKey};
 pub use sealed::{open, seal, SealedBox, SealedBoxError};
 pub use sha2::{sha256, sha512};
 pub use x25519::{x25519, X25519PublicKey, X25519SecretKey};

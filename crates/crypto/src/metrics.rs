@@ -1,0 +1,52 @@
+//! Per-operation telemetry for the crypto hot paths.
+//!
+//! Each public operation (`sign`, `verify`, `verify_batch`, `seal`,
+//! `open`) gets a call counter plus a wall-clock service-time histogram
+//! (`<op>.service_ns`). Timing follows the scheduler's deterministic
+//! 1-in-8 ordinal sampling: two `Instant::now` calls per sampled
+//! operation keep the percentiles honest without taxing every call.
+//! Everything no-ops when the global telemetry registry is disabled
+//! (the default in unit tests), so figure byte-identity is unaffected.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+pub(crate) struct OpMetric {
+    counter: &'static str,
+    hist: &'static str,
+    ordinal: AtomicU64,
+}
+
+impl OpMetric {
+    const fn new(counter: &'static str, hist: &'static str) -> OpMetric {
+        OpMetric {
+            counter,
+            hist,
+            ordinal: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one operation; on every 8th call per metric, also start a
+    /// service-time sample to be closed by [`OpMetric::finish`].
+    pub(crate) fn begin(&self) -> Option<Instant> {
+        if !cellbricks_telemetry::is_enabled() {
+            return None;
+        }
+        cellbricks_telemetry::counter(self.counter).inc();
+        (self.ordinal.fetch_add(1, Ordering::Relaxed) & 7 == 0).then(Instant::now)
+    }
+
+    pub(crate) fn finish(&self, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            cellbricks_telemetry::histogram(self.hist)
+                .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+pub(crate) static SIGN: OpMetric = OpMetric::new("crypto.sign", "crypto.sign.service_ns");
+pub(crate) static VERIFY: OpMetric = OpMetric::new("crypto.verify", "crypto.verify.service_ns");
+pub(crate) static VERIFY_BATCH: OpMetric =
+    OpMetric::new("crypto.verify_batch", "crypto.verify_batch.service_ns");
+pub(crate) static SEAL: OpMetric = OpMetric::new("crypto.seal", "crypto.seal.service_ns");
+pub(crate) static OPEN: OpMetric = OpMetric::new("crypto.open", "crypto.open.service_ns");

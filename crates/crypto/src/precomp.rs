@@ -1,0 +1,459 @@
+//! Precomputed-table scalar multiplication for the Ed25519 group.
+//!
+//! The seed implementation multiplied points with a schoolbook 256-bit
+//! double-and-add (≈256 doublings + ≈128 additions **per scalar**, with
+//! every squaring and small-constant scaling routed through a full field
+//! multiplication). This module replaces that core with the standard
+//! table-driven machinery — identical group math, so every compressed
+//! point, signature, and shared secret stays bit-for-bit the same:
+//!
+//! * a radix-16 signed-digit **fixed-base table** (64 positions × 8 odd
+//!   multiples, affine Niels form) serving key generation and the `r·B`
+//!   of signing — 64 mixed additions, zero doublings;
+//! * **w-NAF** recodings with cached-point (Niels) odd-multiple tables
+//!   for variable bases (w = 5) and a static w = 8 odd-multiple table
+//!   for the basepoint;
+//! * a **Strauss–Shamir / multiscalar** ladder sharing one doubling
+//!   chain across every term of `s·B + Σ kᵢ·Pᵢ`, which is what both
+//!   single verification (`s·B − k·A =? R`) and batch verification run;
+//! * a bounded FIFO **verifier-key cache** mapping compressed key bytes
+//!   to ready-made odd-multiple tables of `−A`, so repeat verifiers skip
+//!   both the `pow_p58` decompression and the table build.
+//!
+//! Everything here is variable-time, like the seed code it replaces (see
+//! the crate-level security disclaimer).
+
+use crate::ed25519::Point;
+use crate::field::Fe;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A precomputed point in affine Niels form: `(y+x, y−x, 2d·x·y)`.
+///
+/// Mixed addition against this form costs 7 field muls (the `Z2 = 1`
+/// case of add-2008-hwcd-3).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AffineNiels {
+    y_plus_x: Fe,
+    y_minus_x: Fe,
+    xy2d: Fe,
+}
+
+/// A precomputed point in projective Niels form:
+/// `(Y+X, Y−X, Z, 2d·T)`. Addition against this form costs 8 field muls.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ProjectiveNiels {
+    y_plus_x: Fe,
+    y_minus_x: Fe,
+    z: Fe,
+    t2d: Fe,
+}
+
+/// A point without the extended `T` coordinate, used inside doubling
+/// chains where `T` is only materialized on the doubling that feeds an
+/// addition (saving one mul on every other doubling).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Projective {
+    pub(crate) x: Fe,
+    pub(crate) y: Fe,
+    pub(crate) z: Fe,
+}
+
+impl Projective {
+    fn identity() -> Projective {
+        Projective {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+        }
+    }
+
+    fn from_point(p: &Point) -> Projective {
+        Projective {
+            x: p.x,
+            y: p.y,
+            z: p.z,
+        }
+    }
+
+    /// dbl-2008-hwcd intermediates (E, F, G, H); the caller assembles
+    /// whichever output coordinates it needs.
+    fn double_efgh(&self) -> (Fe, Fe, Fe, Fe) {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().mul_small(2);
+        let d = a.neg();
+        let e = self.x.add(self.y).square().sub(a).sub(b);
+        let g = d.add(b);
+        let f = g.sub(c);
+        let h = d.sub(b);
+        (e, f, g, h)
+    }
+
+    /// Double without producing `T`: 3 muls + 4 squares.
+    fn double(&self) -> Projective {
+        let (e, f, g, h) = self.double_efgh();
+        Projective {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+        }
+    }
+
+    /// Double producing the full extended point (4 muls + 4 squares);
+    /// used on the doubling immediately before an addition, which needs
+    /// `T` of the accumulator.
+    fn double_with_t(&self) -> Point {
+        let (e, f, g, h) = self.double_efgh();
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
+    }
+
+    /// Projective equality against an extended point, cross-multiplied.
+    pub(crate) fn equals_point(&self, other: &Point) -> bool {
+        self.x.mul(other.z).equals(other.x.mul(self.z))
+            && self.y.mul(other.z).equals(other.y.mul(self.z))
+    }
+
+    /// True iff this is the group identity (0 : 1 : 1).
+    pub(crate) fn is_identity(&self) -> bool {
+        self.x.is_zero() && self.y.equals(self.z)
+    }
+}
+
+/// Mixed addition `p ± q` (add-2008-hwcd-3 with `Z2 = 1`): 7 muls.
+fn add_affine(p: &Point, q: &AffineNiels, subtract: bool) -> Point {
+    // Negating an affine point swaps (y+x, y−x) and negates xy2d; rather
+    // than negate, fold the swap into the operand selection and flip the
+    // sign of C in the F/G terms.
+    let (q_plus, q_minus) = if subtract {
+        (q.y_minus_x, q.y_plus_x)
+    } else {
+        (q.y_plus_x, q.y_minus_x)
+    };
+    let a = p.y.sub(p.x).mul(q_minus);
+    let b = p.y.add(p.x).mul(q_plus);
+    let c = p.t.mul(q.xy2d);
+    let d = p.z.add(p.z);
+    let e = b.sub(a);
+    let (f, g) = if subtract {
+        (d.add(c), d.sub(c))
+    } else {
+        (d.sub(c), d.add(c))
+    };
+    let h = b.add(a);
+    Point {
+        x: e.mul(f),
+        y: g.mul(h),
+        t: e.mul(h),
+        z: f.mul(g),
+    }
+}
+
+/// Cached-point addition `p ± q` (add-2008-hwcd-3): 8 muls.
+fn add_cached(p: &Point, q: &ProjectiveNiels, subtract: bool) -> Point {
+    let (q_plus, q_minus) = if subtract {
+        (q.y_minus_x, q.y_plus_x)
+    } else {
+        (q.y_plus_x, q.y_minus_x)
+    };
+    let a = p.y.sub(p.x).mul(q_minus);
+    let b = p.y.add(p.x).mul(q_plus);
+    let c = p.t.mul(q.t2d);
+    let zz = p.z.mul(q.z);
+    let d = zz.add(zz);
+    let e = b.sub(a);
+    let (f, g) = if subtract {
+        (d.add(c), d.sub(c))
+    } else {
+        (d.sub(c), d.add(c))
+    };
+    let h = b.add(a);
+    Point {
+        x: e.mul(f),
+        y: g.mul(h),
+        t: e.mul(h),
+        z: f.mul(g),
+    }
+}
+
+impl Point {
+    fn to_projective_niels(self) -> ProjectiveNiels {
+        ProjectiveNiels {
+            y_plus_x: self.y.add(self.x),
+            y_minus_x: self.y.sub(self.x),
+            z: self.z,
+            t2d: self.t.mul(Fe::edwards_2d()),
+        }
+    }
+
+    fn to_affine_niels(self) -> AffineNiels {
+        let zinv = self.z.invert();
+        let x = self.x.mul(zinv);
+        let y = self.y.mul(zinv);
+        AffineNiels {
+            y_plus_x: y.add(x),
+            y_minus_x: y.sub(x),
+            xy2d: x.mul(y).mul(Fe::edwards_2d()),
+        }
+    }
+}
+
+/// Build the odd-multiple table `[P, 3P, 5P, …, 15P]` (w = 5 w-NAF) for
+/// a variable base: 1 cached conversion + 1 doubling + 7 cached adds.
+pub(crate) fn odd_multiples(p: &Point) -> [ProjectiveNiels; 8] {
+    let p2 = Projective::from_point(p).double_with_t();
+    let mut table = [p.to_projective_niels(); 8];
+    let mut prev = table[0];
+    for slot in table.iter_mut().skip(1) {
+        prev = add_cached(&p2, &prev, false).to_projective_niels();
+        *slot = prev;
+    }
+    table
+}
+
+/// The radix-16 fixed-base table: `table[i][j] = (j+1)·16^i·B` in affine
+/// Niels form, 64 positions × 8 multiples. Built once per process.
+fn basepoint_radix16_table() -> &'static [[AffineNiels; 8]; 64] {
+    static CACHE: OnceLock<Box<[[AffineNiels; 8]; 64]>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let mut table = vec![[Point::base().to_affine_niels(); 8]; 64];
+        let mut pow16 = Point::base();
+        for row in table.iter_mut() {
+            let mut multiple = pow16;
+            let cached = pow16.to_projective_niels();
+            for slot in row.iter_mut() {
+                *slot = multiple.to_affine_niels();
+                multiple = add_cached(&multiple, &cached, false);
+            }
+            for _ in 0..4 {
+                pow16 = Projective::from_point(&pow16).double_with_t();
+            }
+        }
+        let boxed: Box<[[AffineNiels; 8]; 64]> =
+            table.into_boxed_slice().try_into().expect("64 rows");
+        boxed
+    })
+}
+
+/// Static w = 8 odd-multiple basepoint table `[B, 3B, …, 127B]` in
+/// affine Niels form, for the fixed-base half of Strauss–Shamir.
+fn basepoint_naf_table() -> &'static [AffineNiels; 64] {
+    static CACHE: OnceLock<Box<[AffineNiels; 64]>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let b = Point::base();
+        let b2 = Projective::from_point(&b)
+            .double_with_t()
+            .to_projective_niels();
+        let mut table = Vec::with_capacity(64);
+        let mut multiple = b;
+        table.push(multiple.to_affine_niels());
+        for _ in 1..64 {
+            multiple = add_cached(&multiple, &b2, false);
+            table.push(multiple.to_affine_niels());
+        }
+        let boxed: Box<[AffineNiels; 64]> = table.into_boxed_slice().try_into().expect("64 odd");
+        boxed
+    })
+}
+
+/// Recode a little-endian scalar `< 2²⁵⁵` into 64 signed radix-16
+/// digits in `[−8, 8]` (the final digit absorbs the last carry).
+fn radix16_digits(scalar: &[u8; 32]) -> [i8; 64] {
+    debug_assert!(scalar[31] <= 0x7f, "fixed-base scalar must be < 2^255");
+    let mut e = [0i8; 64];
+    for (i, byte) in scalar.iter().enumerate() {
+        e[2 * i] = (byte & 15) as i8;
+        e[2 * i + 1] = (byte >> 4) as i8;
+    }
+    let mut carry = 0i8;
+    for digit in e.iter_mut().take(63) {
+        *digit += carry;
+        carry = (*digit + 8) >> 4;
+        *digit -= carry << 4;
+    }
+    e[63] += carry;
+    e
+}
+
+/// Fixed-base scalar multiplication `scalar·B` via the radix-16 table:
+/// 64 mixed additions, no doublings.
+pub(crate) fn mul_base(scalar: &[u8; 32]) -> Point {
+    let table = basepoint_radix16_table();
+    let mut acc = Point::identity();
+    for (digit, row) in radix16_digits(scalar).iter().zip(table.iter()) {
+        if *digit > 0 {
+            acc = add_affine(&acc, &row[(*digit - 1) as usize], false);
+        } else if *digit < 0 {
+            acc = add_affine(&acc, &row[(-*digit - 1) as usize], true);
+        }
+    }
+    acc
+}
+
+/// Width-`w` non-adjacent form of a little-endian scalar `< 2²⁵³`:
+/// at each nonzero position an odd digit with `|d| < 2^(w−1)`.
+fn non_adjacent_form(scalar: &[u8; 32], w: u32) -> [i8; 256] {
+    debug_assert!((2..=8).contains(&w));
+    debug_assert!(scalar[31] <= 0x1f, "w-NAF scalar must be < 2^253");
+    let mut limbs = [0u64; 5]; // fifth limb: zero sentinel for window reads
+    for (i, chunk) in scalar.chunks_exact(8).enumerate() {
+        limbs[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+    }
+    let width = 1u64 << w;
+    let window_mask = width - 1;
+    let mut naf = [0i8; 256];
+    let mut pos = 0usize;
+    let mut carry = 0u64;
+    while pos < 256 {
+        let idx = pos / 64;
+        let shift = pos % 64;
+        let bit_buf = if shift <= 64 - w as usize {
+            limbs[idx] >> shift
+        } else {
+            (limbs[idx] >> shift) | (limbs[idx + 1] << (64 - shift))
+        };
+        let window = carry + (bit_buf & window_mask);
+        if window & 1 == 0 {
+            pos += 1;
+            continue;
+        }
+        if window < width / 2 {
+            carry = 0;
+            naf[pos] = window as i8;
+        } else {
+            carry = 1;
+            naf[pos] = window.wrapping_sub(width) as i8;
+        }
+        pos += w as usize;
+    }
+    naf
+}
+
+/// Variable-time multiscalar multiplication
+/// `base_scalar·B + Σ scalarᵢ·Pᵢ` with one shared doubling chain:
+/// the basepoint term runs width-8 NAF against the static affine table,
+/// each dynamic term width-5 NAF against its cached odd-multiple table.
+///
+/// All scalars must be reduced (`< 2²⁵³`, i.e. below the group order).
+pub(crate) fn multiscalar_mul_vartime(
+    base_scalar: &[u8; 32],
+    terms: &[([u8; 32], &[ProjectiveNiels; 8])],
+) -> Projective {
+    let base_naf = non_adjacent_form(base_scalar, 8);
+    let term_nafs: Vec<[i8; 256]> = terms.iter().map(|(s, _)| non_adjacent_form(s, 5)).collect();
+
+    let mut top = None;
+    for i in (0..256).rev() {
+        if base_naf[i] != 0 || term_nafs.iter().any(|n| n[i] != 0) {
+            top = Some(i);
+            break;
+        }
+    }
+    let Some(top) = top else {
+        return Projective::identity();
+    };
+
+    let base_table = basepoint_naf_table();
+    let mut acc = Projective::identity();
+    for i in (0..=top).rev() {
+        let digit_here = base_naf[i] != 0 || term_nafs.iter().any(|n| n[i] != 0);
+        if !digit_here {
+            acc = acc.double();
+            continue;
+        }
+        let mut ext = acc.double_with_t();
+        let d = base_naf[i];
+        if d > 0 {
+            ext = add_affine(&ext, &base_table[(d / 2) as usize], false);
+        } else if d < 0 {
+            ext = add_affine(&ext, &base_table[(-d / 2) as usize], true);
+        }
+        for (naf, (_, table)) in term_nafs.iter().zip(terms.iter()) {
+            let d = naf[i];
+            if d > 0 {
+                ext = add_cached(&ext, &table[(d / 2) as usize], false);
+            } else if d < 0 {
+                ext = add_cached(&ext, &table[(-d / 2) as usize], true);
+            }
+        }
+        acc = Projective::from_point(&ext);
+    }
+    acc
+}
+
+/// Ready-to-use verification tables for one public key: the odd
+/// multiples of `−A`, so `verify` can evaluate `s·B + k·(−A)` directly.
+pub(crate) struct VerifierTables {
+    pub(crate) neg_a: [ProjectiveNiels; 8],
+}
+
+impl VerifierTables {
+    pub(crate) fn build(a: &Point) -> VerifierTables {
+        let neg = Point {
+            x: a.x.neg(),
+            y: a.y,
+            z: a.z,
+            t: a.t.neg(),
+        };
+        VerifierTables {
+            neg_a: odd_multiples(&neg),
+        }
+    }
+}
+
+/// FIFO-bounded cache of [`VerifierTables`] keyed on compressed key
+/// bytes. Entries are immutable (a compressed encoding fully determines
+/// the point), so invalidation is only ever capacity eviction: when the
+/// cache is full the oldest insertion is dropped. Only keys that
+/// decompressed successfully are inserted.
+struct KeyCache {
+    map: HashMap<[u8; 32], Arc<VerifierTables>>,
+    order: VecDeque<[u8; 32]>,
+}
+
+/// Capacity of the global verifier-key cache. The simulation's working
+/// set is one key per principal (UEs dominate: ≈1k at the largest swept
+/// scale), so 4096 keeps every hot key resident while bounding memory
+/// to ~4 MiB worst-case.
+const KEY_CACHE_CAP: usize = 4096;
+
+fn key_cache() -> &'static Mutex<KeyCache> {
+    static CACHE: OnceLock<Mutex<KeyCache>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(KeyCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        })
+    })
+}
+
+/// Look up cached verifier tables for a compressed key.
+pub(crate) fn key_cache_get(key: &[u8; 32]) -> Option<Arc<VerifierTables>> {
+    let cache = key_cache().lock().expect("key cache poisoned");
+    let hit = cache.map.get(key).cloned();
+    if hit.is_some() {
+        cellbricks_telemetry::counter("crypto.keycache.hit").inc();
+    } else {
+        cellbricks_telemetry::counter("crypto.keycache.miss").inc();
+    }
+    hit
+}
+
+/// Insert verifier tables for a compressed key, evicting FIFO at cap.
+pub(crate) fn key_cache_put(key: [u8; 32], tables: Arc<VerifierTables>) {
+    let mut cache = key_cache().lock().expect("key cache poisoned");
+    if cache.map.insert(key, tables).is_none() {
+        cache.order.push_back(key);
+        if cache.order.len() > KEY_CACHE_CAP {
+            if let Some(evicted) = cache.order.pop_front() {
+                cache.map.remove(&evicted);
+            }
+        }
+    }
+}

@@ -71,6 +71,7 @@ pub fn seal<R: rand::Rng + ?Sized>(
     recipient: &X25519PublicKey,
     plaintext: &[u8],
 ) -> SealedBox {
+    let t0 = crate::metrics::SEAL.begin();
     let ephemeral = X25519SecretKey::generate(rng);
     let ephemeral_pk = ephemeral.public_key().0;
     let shared = ephemeral.diffie_hellman(recipient);
@@ -78,6 +79,7 @@ pub fn seal<R: rand::Rng + ?Sized>(
     let nonce = [0u8; 12]; // Safe: enc_key is unique per message (fresh ephemeral).
     let ciphertext = chacha20::apply(&enc_key, &nonce, 0, plaintext);
     let tag = hmac_sha256(&mac_key, &ciphertext);
+    crate::metrics::SEAL.finish(t0);
     SealedBox {
         ephemeral_pk,
         ciphertext,
@@ -90,15 +92,19 @@ pub fn seal<R: rand::Rng + ?Sized>(
 /// # Errors
 /// Returns [`SealedBoxError::TagMismatch`] if authentication fails.
 pub fn open(recipient_sk: &X25519SecretKey, boxed: &SealedBox) -> Result<Vec<u8>, SealedBoxError> {
+    let t0 = crate::metrics::OPEN.begin();
     let recipient_pk = recipient_sk.public_key().0;
     let shared = recipient_sk.diffie_hellman(&X25519PublicKey(boxed.ephemeral_pk));
     let (enc_key, mac_key) = derive_keys(&shared, &boxed.ephemeral_pk, &recipient_pk);
     let expected_tag = hmac_sha256(&mac_key, &boxed.ciphertext);
     if !ct_eq(&expected_tag, &boxed.tag) {
+        crate::metrics::OPEN.finish(t0);
         return Err(SealedBoxError::TagMismatch);
     }
     let nonce = [0u8; 12];
-    Ok(chacha20::apply(&enc_key, &nonce, 0, &boxed.ciphertext))
+    let plaintext = chacha20::apply(&enc_key, &nonce, 0, &boxed.ciphertext);
+    crate::metrics::OPEN.finish(t0);
+    Ok(plaintext)
 }
 
 impl SealedBox {
