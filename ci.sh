@@ -7,6 +7,12 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# CI_QUICK=1 (the default here and in the workflow) puts informational
+# steps — the criterion microbenchmarks — on a reduced profile: they
+# still run end to end, they just spend less wall-clock measuring.
+# Set CI_QUICK=0 for full-length benchmark numbers.
+export CI_QUICK="${CI_QUICK:-1}"
+
 run() {
     echo
     echo "==> $*"
@@ -28,7 +34,8 @@ run cargo test --release -q -p cellbricks-crypto --features op-count \
 
 # Microbenchmark smoke: the ed25519/sealed-box criterion harness must
 # run end to end. Its numbers are informational (±20% noise on the CI
-# box); the op-count gate above is the regression check.
+# box); the op-count gate above is the regression check. Under
+# CI_QUICK=1 the criterion shim collects fewer, shorter samples.
 run cargo bench -q -p cellbricks-crypto --bench ed25519
 
 # Smoke-check the telemetry pipeline end to end: a short fig7 run must
@@ -54,7 +61,14 @@ echo "==> results/fig7.metrics.json OK"
 # The smoke run writes to a scratch dir so the committed baseline stays
 # untouched (re-commit it only from a deliberate full sweep).
 metric() { # metric <file> <gauge-name> -> value
-    grep -o "\"$2\":{\"value\":[0-9-]*" "$1" | grep -o '[0-9-]*$'
+    local v
+    v=$(grep -o "\"$2\":{\"value\":[0-9-]*" "$1" | grep -o '[0-9-]*$' || true)
+    if [ -z "$v" ]; then
+        echo "FAIL: gauge \"$2\" not found in $1 — the run did not" >&2
+        echo "      record it (renamed metric, or the phase never ran)" >&2
+        return 1
+    fi
+    echo "$v"
 }
 ENGINE_N10K_FLOOR=5000000
 committed_eps=$(metric results/exp_scale.metrics.json "exp_scale.engine.n10000.events_per_sec")
@@ -87,6 +101,41 @@ test -s results/exp_chaos.metrics.json
 grep -q '"fault.unrecovered":0' results/exp_chaos.metrics.json
 echo
 echo "==> results/exp_chaos.metrics.json OK"
+
+# Figure-replay gate: the committed results/*.txt are claims this tree
+# must keep reproducing bit-for-bit. Every experiment is a pure function
+# of its seed (no wall clock, no ambient RNG), so each binary is rerun
+# into a scratch dir and its stdout diffed against the committed copy —
+# any drift in the simulation, transport, or congestion-control hot
+# paths (deliberate or accidental) turns the gate red until the figures
+# are regenerated and re-reviewed.
+replay=$(mktemp -d)
+for exp in fig7 fig8 fig9 fig10 table1 cc; do
+    echo
+    echo "==> replay exp_$exp"
+    env CELLBRICKS_RESULTS_DIR="$replay" \
+        cargo run --release -q -p cellbricks-bench --bin "exp_$exp" \
+        >"$replay/$exp.txt"
+    if ! diff -u "results/$exp.txt" "$replay/$exp.txt"; then
+        echo "FAIL: exp_$exp no longer reproduces results/$exp.txt byte-identically"
+        exit 1
+    fi
+    echo "==> results/$exp.txt replays byte-identically"
+done
+
+# The exp_cc replay above doubles as the CC ablation smoke: its metrics
+# snapshot must carry the per-algorithm cc.* counters, proving each
+# algorithm actually ran behind the trait (not silently defaulted).
+test -s "$replay/cc.metrics.json"
+for key in cc.cubic.loss_events cc.reno.loss_events cc.bbr.probe_rtt_entries; do
+    if ! grep -q "\"$key\"" "$replay/cc.metrics.json"; then
+        echo "FAIL: counter \"$key\" missing from cc.metrics.json"
+        exit 1
+    fi
+done
+rm -rf "$replay"
+echo
+echo "==> figure replay + cc counters OK"
 
 echo
 echo "CI gate passed."

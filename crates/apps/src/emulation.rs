@@ -21,12 +21,12 @@ use crate::video::{VideoClient, VideoServer};
 use crate::voip::VoipPeer;
 use crate::web::{PageModel, WebClient, WebServer};
 use cellbricks_net::{
-    CarrierPolicy, Driver, EndpointAddr, LinkConfig, LinkId, NetWorld, RateSchedule, Router,
-    Shaper, TimeOfDay, Topology,
+    BurstLoss, CarrierPolicy, Driver, EndpointAddr, FaultPlan, LinkConfig, LinkId, NetWorld,
+    RateSchedule, Router, Shaper, TimeOfDay, Topology,
 };
 use cellbricks_ran::{CellSelector, DriveProfile, DriveSim, RouteKind};
 use cellbricks_sim::{SimDuration, SimRng, SimTime, TimeSeries};
-use cellbricks_transport::{Host, MpConfig, TcpConfig};
+use cellbricks_transport::{CcAlgo, Host, MpConfig, TcpConfig};
 use std::net::Ipv4Addr;
 
 /// Which architecture arm to run.
@@ -81,8 +81,33 @@ pub struct EmulationConfig {
     pub forced_handovers_s: Option<Vec<f64>>,
     /// Carrier rate policy.
     pub policy: CarrierPolicy,
+    /// Congestion-control algorithm for both endpoints (UE and server —
+    /// the sender side is what matters for downlink throughput).
+    pub tcp_cc: CcAlgo,
+    /// Standing Gilbert–Elliott burst-loss model on the radio link (the
+    /// flaky-small-cell stressor); `None` keeps uniform loss.
+    pub radio_burst: Option<BurstLoss>,
+    /// Scripted radio-link flap train, composed with the fault planner
+    /// at run time (the handover-storm stressor).
+    pub radio_flaps: Option<RadioFlaps>,
     /// Experiment seed.
     pub seed: u64,
+}
+
+/// A declarative flap train on the radio link: `count` outages of `down`
+/// each, `up` apart, starting at `from_s`. Kept as plain numbers (not a
+/// pre-built [`FaultPlan`]) so the config stays `Clone` and the plan is
+/// materialized per run.
+#[derive(Clone, Copy, Debug)]
+pub struct RadioFlaps {
+    /// First outage instant, seconds from start.
+    pub from_s: f64,
+    /// Number of outages.
+    pub count: u32,
+    /// Outage duration.
+    pub down: SimDuration,
+    /// Gap between outages.
+    pub up: SimDuration,
 }
 
 impl EmulationConfig {
@@ -100,6 +125,9 @@ impl EmulationConfig {
             mno_outage: SimDuration::from_millis(40),
             forced_handovers_s: None,
             policy: CarrierPolicy::default(),
+            tcp_cc: CcAlgo::default(),
+            radio_burst: None,
+            radio_flaps: None,
             seed: 42,
         }
     }
@@ -190,7 +218,7 @@ fn build_world(cfg: &EmulationConfig) -> DriveWorld {
             burst_bytes: burst,
         },
         queue_cap: SimDuration::from_millis(600),
-        burst: None,
+        burst: cfg.radio_burst,
     };
     let ul_cfg = LinkConfig {
         latency: RADIO_LATENCY,
@@ -224,15 +252,36 @@ fn transport_for(arch: Arch) -> Transport {
     }
 }
 
+fn tcp_config(cfg: &EmulationConfig) -> TcpConfig {
+    TcpConfig {
+        cc: cfg.tcp_cc,
+        ..TcpConfig::default()
+    }
+}
+
 fn ue_host(cfg: &EmulationConfig) -> Host {
     let mp_cfg = MpConfig {
+        tcp: tcp_config(cfg),
         address_worker_wait: cfg.mptcp_wait,
         ..MpConfig::default()
     };
     Host::with_configs(
         cellbricks_net::NodeId(0),
         Some(UE_IP0),
-        TcpConfig::default(),
+        tcp_config(cfg),
+        mp_cfg,
+    )
+}
+
+fn server_host(cfg: &EmulationConfig) -> Host {
+    let mp_cfg = MpConfig {
+        tcp: tcp_config(cfg),
+        ..MpConfig::default()
+    };
+    Host::with_configs(
+        cellbricks_net::NodeId(2),
+        Some(SRV_IP),
+        tcp_config(cfg),
         mp_cfg,
     )
 }
@@ -264,12 +313,22 @@ fn run_drive<C: App, S: App>(
     let mut dw = build_world(cfg);
     let mut client = AppHost::new(ue_host(cfg), client_app);
     let mut access = Router::new(cellbricks_net::NodeId(1), SimDuration::ZERO);
-    let mut server = AppHost::new(
-        Host::new(cellbricks_net::NodeId(2), Some(SRV_IP)),
-        server_app,
-    );
+    let mut server = AppHost::new(server_host(cfg), server_app);
     let end = SimTime::ZERO + cfg.duration;
     let mut driver = Driver::new();
+    // Handover-storm stressor: materialize the declarative flap train
+    // into a fault plan on the radio link.
+    if let Some(f) = cfg.radio_flaps {
+        let mut plan = FaultPlan::new();
+        plan.link_flaps(
+            dw.radio_link,
+            SimTime::from_secs_f64(f.from_s),
+            f.count,
+            f.down,
+            f.up,
+        );
+        driver.set_fault_plan(plan);
+    }
     let handovers = dw.handover_times.clone();
     for (i, &ho) in handovers.iter().enumerate() {
         if ho >= end {

@@ -32,6 +32,6 @@ pub mod video;
 pub mod voip;
 pub mod web;
 
-pub use emulation::{Arch, DriveOutcome, EmulationConfig, Workload};
+pub use emulation::{Arch, DriveOutcome, EmulationConfig, RadioFlaps, Workload};
 pub use harness::{App, AppHost};
 pub use metrics::mos_from_network;

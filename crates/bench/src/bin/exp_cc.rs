@@ -1,0 +1,124 @@
+//! Congestion-control ablation: CUBIC vs Reno vs BBR on the CellBricks
+//! drive emulation, under the three stressors the architecture makes
+//! first-class — the carrier's day token-bucket policer, Gilbert–Elliott
+//! burst loss on a flaky small cell, and a handover storm composed with
+//! the fault planner (forced bTelco switches plus scripted radio flaps).
+//!
+//! Every cell is one `(algorithm × stressor)` drive over the same seeded
+//! world: all stochastic inputs (rate trace, loss draws, burst-loss
+//! chain, flap schedule) are pure functions of the seed, so the table is
+//! bit-identical on replay — CI regenerates it and diffs against the
+//! committed copy.
+//!
+//! Usage: `cargo run --release -p cellbricks-bench --bin exp_cc
+//!         [--seed S]`
+
+use cellbricks_apps::emulation::{run, Arch, EmulationConfig, RadioFlaps, Workload};
+use cellbricks_bench::{arg_u64, rule};
+use cellbricks_net::{BurstLoss, TimeOfDay};
+use cellbricks_ran::RouteKind;
+use cellbricks_sim::SimDuration;
+use cellbricks_transport::CcAlgo;
+
+const DRIVE_SECS: u64 = 120;
+
+/// One stressor column: a named transformation of the base config.
+struct Stressor {
+    name: &'static str,
+    apply: fn(&mut EmulationConfig),
+}
+
+fn base_cfg(tod: TimeOfDay, seed: u64) -> EmulationConfig {
+    let mut cfg = EmulationConfig::new(RouteKind::Downtown, tod, Arch::CellBricks, Workload::Iperf);
+    cfg.duration = SimDuration::from_secs(DRIVE_SECS);
+    cfg.attach_delay = SimDuration::from_millis(32);
+    cfg.forced_handovers_s = Some(Vec::new()); // Stressors opt back in.
+    cfg.seed = seed;
+    cfg
+}
+
+fn main() {
+    cellbricks_bench::telemetry_init();
+    let seed = arg_u64("--seed", 42);
+
+    let stressors = [
+        // The day regime's token-bucket policer: ~1 Mbit/s committed
+        // rate with a deep bucket, no handovers — pure policer dynamics.
+        Stressor {
+            name: "policer",
+            apply: |_cfg| {},
+        },
+        // Flaky small cell: Gilbert–Elliott burst loss on the radio
+        // link, night rates so loss (not the policer) is the bottleneck.
+        Stressor {
+            name: "burstloss",
+            apply: |cfg| {
+                cfg.tod = TimeOfDay::Night;
+                cfg.radio_burst = Some(BurstLoss::flaky_cell());
+            },
+        },
+        // Handover storm: a bTelco switch every 15 s composed with a
+        // scripted radio flap train from the fault planner.
+        Stressor {
+            name: "ho-storm",
+            apply: |cfg| {
+                cfg.tod = TimeOfDay::Night;
+                cfg.forced_handovers_s = Some((1..8).map(|i| (i * 15) as f64).collect());
+                cfg.radio_flaps = Some(RadioFlaps {
+                    from_s: 5.0,
+                    count: 8,
+                    down: SimDuration::from_millis(120),
+                    up: SimDuration::from_secs(10),
+                });
+            },
+        },
+    ];
+    let algos = [CcAlgo::Cubic, CcAlgo::Reno, CcAlgo::Bbr];
+
+    eprintln!(
+        "cc ablation: {} algorithms x {} stressors, {DRIVE_SECS}s drives (seed {seed})...",
+        algos.len(),
+        stressors.len()
+    );
+
+    let mut cells: Vec<Vec<f64>> = Vec::new();
+    for algo in algos {
+        let mut row = Vec::new();
+        for s in &stressors {
+            let mut cfg = base_cfg(TimeOfDay::Day, seed);
+            cfg.tcp_cc = algo;
+            (s.apply)(&mut cfg);
+            let out = run(&cfg);
+            row.push(out.iperf_mbps.expect("iperf cell"));
+            eprintln!("  {}/{}: done", algo.name(), s.name);
+        }
+        cells.push(row);
+    }
+
+    println!("Congestion-control ablation — iperf mean throughput (Mbit/s),");
+    println!("CellBricks arm (MPTCP), {DRIVE_SECS} s drives, seed {seed}");
+    println!("{}", rule(58));
+    print!("{:>10}", "algorithm");
+    for s in &stressors {
+        print!("{:>12}", s.name);
+    }
+    println!();
+    println!("{}", rule(58));
+    for (algo, row) in algos.iter().zip(&cells) {
+        print!("{:>10}", algo.name());
+        for mbps in row {
+            print!("{mbps:>12.3}");
+        }
+        println!();
+    }
+    println!("{}", rule(58));
+    println!(
+        "reading: under the policer all three settle near the committed rate.\n\
+         Burst loss is where they separate — loss-driven CUBIC and Reno keep\n\
+         collapsing cwnd on bursts that carry no congestion signal, while BBR's\n\
+         bandwidth filter rides through them. The handover storm compresses the\n\
+         gap again: every bTelco switch resets the path (fresh subflow, fresh\n\
+         CC state), so convergence speed from a cold window dominates."
+    );
+    cellbricks_bench::telemetry_finish("cc");
+}

@@ -26,7 +26,17 @@ pub struct Criterion {
 }
 
 impl Default for Criterion {
+    /// `CI_QUICK=1` in the environment selects a reduced profile (fewer
+    /// samples, shorter measurement window) so the CI smoke step proves
+    /// the harness runs end to end without paying full measurement time.
+    /// Explicit `sample_size`/`measurement_time` calls still override.
     fn default() -> Self {
+        if std::env::var("CI_QUICK").as_deref() == Ok("1") {
+            return Self {
+                sample_size: 5,
+                measurement: Duration::from_millis(50),
+            };
+        }
         Self {
             sample_size: 20,
             measurement: Duration::from_millis(400),

@@ -113,6 +113,18 @@ impl Host {
     /// Assign a (new) interface address (bTelco attach complete).
     pub fn assign_addr(&mut self, now: SimTime, addr: Ipv4Addr) {
         self.addr = Some(addr);
+        // Plain-TCP sockets bound to this address survive a re-attach
+        // that hands back the same IP (a bTelco crash+restart resets its
+        // pool, so this is common) — but the radio path they learned on
+        // is gone. Reset congestion control so no CUBIC epoch/w_max or
+        // BBR estimate from the old attachment leaks onto the new one.
+        // MPTCP subflows are rebuilt from scratch on re-attach and start
+        // with fresh CC state by construction.
+        for tcp in self.tcps.iter_mut().flatten() {
+            if tcp.local.ip == addr && tcp.is_established() {
+                tcp.reset_cc();
+            }
+        }
         for mp in self.mps.iter_mut().flatten() {
             mp.on_addr_assigned(now, addr);
         }

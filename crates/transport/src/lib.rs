@@ -28,11 +28,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cc;
 pub mod host;
 pub mod mptcp;
 pub mod quic;
 pub mod tcp;
 
+pub use cc::{Bbr, CcAlgo, CongestionControl, Cubic, Reno};
 pub use host::{Host, MpId, SockId, UdpId};
 pub use mptcp::{MpConfig, MpConn};
 pub use quic::QuicConn;

@@ -6,7 +6,13 @@
 //! retransmit on triple duplicate ACKs, RTO with go-back-N and backoff —
 //! follows RFC 5681/6298/6582 closely enough to reproduce the dynamics of
 //! Fig. 8 and Fig. 9.
+//!
+//! Congestion-control *policy* is pluggable: the datapath reports ACK /
+//! loss / RTO events to a [`crate::cc::CongestionControl`] implementation
+//! (selected by [`TcpConfig::cc`]) and reads the window back, so CUBIC,
+//! Reno and BBR swap without touching the mechanism below.
 
+use crate::cc::{self, AckKind, CcAlgo, CongestionControl, LossKind};
 use cellbricks_net::{EndpointAddr, MpSignal, SackBlocks, TcpFlags, TcpSegment, MAX_SACK_BLOCKS};
 use cellbricks_sim::{SimDuration, SimTime};
 use cellbricks_telemetry as telemetry;
@@ -51,6 +57,8 @@ pub struct TcpConfig {
     pub initial_rto: SimDuration,
     /// Give up (reset) after this many consecutive RTOs on one segment.
     pub max_rto_retries: u32,
+    /// Congestion-control algorithm (default CUBIC).
+    pub cc: CcAlgo,
 }
 
 impl Default for TcpConfig {
@@ -63,6 +71,7 @@ impl Default for TcpConfig {
             max_rto: SimDuration::from_secs(60),
             initial_rto: SimDuration::from_secs(1),
             max_rto_retries: 8,
+            cc: CcAlgo::default(),
         }
     }
 }
@@ -105,10 +114,9 @@ pub struct Tcp {
     snd_max: u64,
     /// Emit a SYN / SYN-ACK on the next poll.
     syn_pending: bool,
-    /// Congestion window, bytes.
-    cwnd: f64,
-    /// Slow-start threshold, bytes.
-    ssthresh: f64,
+    /// Congestion-control policy (owns cwnd/ssthresh and all algorithm
+    /// state; the datapath feeds it events and reads the window back).
+    cc: Box<dyn CongestionControl>,
     /// Peer's advertised window.
     peer_rwnd: u32,
     dup_acks: u32,
@@ -123,14 +131,6 @@ pub struct Tcp {
     sacked: BTreeMap<u64, u64>,
     /// Hole-scan cursor for SACK-based retransmission.
     retx_next: u64,
-    /// Lowest RTT ever sampled (Hystart-style delay baseline).
-    min_rtt: Option<SimDuration>,
-    /// CUBIC: window size (bytes) just before the last reduction.
-    cubic_wmax: f64,
-    /// CUBIC: start of the current congestion-avoidance epoch.
-    cubic_epoch: Option<SimTime>,
-    /// CUBIC: time (seconds) to climb back to `cubic_wmax`.
-    cubic_k: f64,
     /// Total bytes the application has written (None = unbounded bulk).
     app_written: Option<u64>,
     /// Application requested close once all data is sent.
@@ -228,7 +228,7 @@ impl Tcp {
     }
 
     fn new(cfg: TcpConfig, local: EndpointAddr, remote: EndpointAddr, state: TcpState) -> Tcp {
-        let cwnd = f64::from(cfg.init_cwnd_mss * cfg.mss);
+        let cc = cc::build(cfg.cc, &cfg);
         Tcp {
             rto: cfg.initial_rto,
             cfg,
@@ -240,8 +240,7 @@ impl Tcp {
             snd_nxt: 0,
             snd_max: 0,
             syn_pending: true,
-            cwnd,
-            ssthresh: f64::INFINITY,
+            cc,
             peer_rwnd: u32::MAX,
             dup_acks: 0,
             recover: 0,
@@ -249,10 +248,6 @@ impl Tcp {
             force_retransmit_head: false,
             sacked: BTreeMap::new(),
             retx_next: 0,
-            min_rtt: None,
-            cubic_wmax: 0.0,
-            cubic_epoch: None,
-            cubic_k: 0.0,
             app_written: Some(0),
             fin_requested: false,
             fin_sent: false,
@@ -331,7 +326,27 @@ impl Tcp {
     /// Congestion window in bytes.
     #[must_use]
     pub fn cwnd(&self) -> u64 {
-        self.cwnd as u64
+        self.cc.cwnd() as u64
+    }
+
+    /// Name of the congestion-control algorithm in use.
+    #[must_use]
+    pub fn cc_name(&self) -> &'static str {
+        self.cc.name()
+    }
+
+    /// Pacing rate (bytes/sec) exported by rate-based algorithms.
+    #[must_use]
+    pub fn pacing_rate(&self) -> Option<f64> {
+        self.cc.pacing_rate()
+    }
+
+    /// Reset congestion-control state to a fresh connection's: used when
+    /// the path under this connection changed (CellBricks re-attach
+    /// reassigned the local address), so learned epochs/w_max/bandwidth
+    /// estimates describe a path that no longer exists.
+    pub fn reset_cc(&mut self) {
+        self.cc.reset();
     }
 
     /// Smoothed RTT, if sampled.
@@ -347,7 +362,7 @@ impl Tcp {
             self.in_recovery,
             self.dup_acks,
             self.sacked_bytes(),
-            self.ssthresh,
+            self.cc.ssthresh(),
         )
     }
 
@@ -405,7 +420,7 @@ impl Tcp {
                     self.state = TcpState::Established;
                     self.rto_retries = 0;
                     self.rto_deadline = None;
-                    self.take_rtt_sample_on_ack(now, seg.ack);
+                    let _ = self.take_rtt_sample_on_ack(now, seg.ack);
                     self.ack_pending = true;
                     ev.connected = true;
                 }
@@ -417,7 +432,7 @@ impl Tcp {
                     self.state = TcpState::Established;
                     self.rto_retries = 0;
                     self.rto_deadline = None;
-                    self.take_rtt_sample_on_ack(now, seg.ack);
+                    let _ = self.take_rtt_sample_on_ack(now, seg.ack);
                     ev.connected = true;
                     // Fall through: the ACK may carry data.
                 } else if seg.flags.syn && !seg.flags.ack {
@@ -491,29 +506,26 @@ impl Tcp {
                 }
             }
             self.retx_next = self.snd_una;
-            self.take_rtt_sample_on_ack(now, ack);
+            let rtt = self.take_rtt_sample_on_ack(now, ack);
+            let flight = self.effective_flight();
 
             if self.in_recovery {
                 if ack >= self.recover {
-                    // Full ACK: leave recovery, deflate to ssthresh.
+                    // Full ACK: leave recovery.
                     self.in_recovery = false;
                     self.force_retransmit_head = false;
-                    self.cwnd = self.ssthresh;
+                    self.cc
+                        .on_ack(now, newly, rtt, AckKind::RecoveryFull, flight);
                     self.dup_acks = 0;
                 } else {
-                    // Partial ACK (NewReno): retransmit next hole, deflate.
-                    self.cwnd = (self.cwnd - newly as f64 + f64::from(self.cfg.mss))
-                        .max(f64::from(self.cfg.mss));
+                    // Partial ACK (NewReno): retransmit next hole.
+                    self.cc
+                        .on_ack(now, newly, rtt, AckKind::RecoveryPartial, flight);
                     self.force_retransmit_head = true;
                 }
             } else {
                 self.dup_acks = 0;
-                if self.cwnd < self.ssthresh {
-                    // Slow start: cwnd grows by bytes acked.
-                    self.cwnd += newly as f64;
-                } else {
-                    self.cubic_update(now, newly);
-                }
+                self.cc.on_ack(now, newly, rtt, AckKind::Open, flight);
             }
             // Restart the RTO for remaining flight.
             self.rto_deadline = if self.outstanding() {
@@ -542,14 +554,11 @@ impl Tcp {
                 // ACKs alone are not loss evidence (our own spurious
                 // retransmissions also produce them) — a real hole shows
                 // up as SACKed data above snd_una (RFC 6675 spirit).
-                // CUBIC-style multiplicative decrease (β = 0.7, Linux).
                 self.fast_retx_events += 1;
                 self.metrics.fast_retx.inc();
                 telemetry::trace_instant("tcp.fast_retransmit", "tcp", now.as_nanos());
-                self.cubic_wmax = self.cwnd.max(self.effective_flight() as f64);
-                self.ssthresh = (self.cubic_wmax * 0.7).max(2.0 * f64::from(self.cfg.mss));
-                self.cwnd = self.ssthresh;
-                self.cubic_epoch = None;
+                let flight = self.effective_flight();
+                self.cc.on_loss(now, LossKind::FastRetransmit, flight);
                 self.in_recovery = true;
                 self.recover = self.snd_nxt;
                 self.force_retransmit_head = true;
@@ -682,7 +691,7 @@ impl Tcp {
         // Fresh data within the window; selectively-acked bytes don't
         // count against the congestion window (pipe accounting).
         loop {
-            let window = (self.cwnd as u64)
+            let window = (self.cc.cwnd() as u64)
                 .min(u64::from(self.peer_rwnd))
                 .saturating_add(self.sacked_bytes());
             let limit = self.snd_una + window;
@@ -756,10 +765,7 @@ impl Tcp {
                 self.rto_events += 1;
                 self.metrics.rto_fired.inc();
                 telemetry::trace_instant("tcp.rto", "tcp", now.as_nanos());
-                self.cubic_wmax = self.cubic_wmax.max(self.cwnd);
-                self.ssthresh = (self.cubic_wmax * 0.7).max(2.0 * f64::from(self.cfg.mss));
-                self.cwnd = f64::from(self.cfg.mss);
-                self.cubic_epoch = None;
+                self.cc.on_rto(now);
                 self.in_recovery = false;
                 self.dup_acks = 0;
                 self.retx_next = self.snd_una;
@@ -778,45 +784,6 @@ impl Tcp {
     /// Arm the retransmission timer (handshake phase).
     fn arm_rto(&mut self, now: SimTime) {
         self.rto_deadline = Some(now + self.rto);
-    }
-
-    /// CUBIC window growth (RFC 8312): in congestion avoidance, grow the
-    /// window toward `W(t) = C·(t−K)³ + Wmax` where t is the time since
-    /// the epoch started and K = ∛(Wmax·(1−β)/C). Windows are in MSS
-    /// units for the cubic function, per the RFC.
-    fn cubic_update(&mut self, now: SimTime, newly_acked: u64) {
-        const C: f64 = 0.4;
-        const BETA: f64 = 0.7;
-        let mss = f64::from(self.cfg.mss);
-        let epoch = match self.cubic_epoch {
-            Some(e) => e,
-            None => {
-                let wmax_mss = (self.cubic_wmax / mss).max(1.0);
-                let cur_mss = self.cwnd / mss;
-                // If we start below Wmax, K is the climb time; otherwise
-                // probe immediately (K = 0).
-                self.cubic_k = if cur_mss < wmax_mss {
-                    ((wmax_mss - cur_mss) / C).cbrt()
-                } else {
-                    0.0
-                };
-                self.cubic_epoch = Some(now);
-                now
-            }
-        };
-        let t = now.since(epoch).as_secs_f64();
-        let wmax_mss = (self.cubic_wmax / mss).max(1.0);
-        let target_mss = C * (t - self.cubic_k).powi(3) + wmax_mss;
-        let target = (target_mss * mss).max(2.0 * mss);
-        if target > self.cwnd {
-            // Spread the climb over roughly one RTT of ACKs.
-            let step = (target - self.cwnd) * (newly_acked as f64 / self.cwnd).min(1.0);
-            self.cwnd += step;
-        } else {
-            // TCP-friendly floor: at least Reno-style additive increase.
-            self.cwnd += mss * mss / self.cwnd * (newly_acked as f64 / mss).min(1.0);
-        }
-        let _ = BETA;
     }
 
     /// Merge `[start, end)` into the SACK scoreboard, coalescing overlaps.
@@ -886,7 +853,10 @@ impl Tcp {
         self.app_limit()
     }
 
-    fn take_rtt_sample_on_ack(&mut self, now: SimTime, ack: u64) {
+    /// Complete a pending RTT measurement if `ack` covers it: update
+    /// srtt/rttvar/RTO (RFC 6298) and return the raw sample so the
+    /// caller can report it to congestion control.
+    fn take_rtt_sample_on_ack(&mut self, now: SimTime, ack: u64) -> Option<SimDuration> {
         let sample = match self.state {
             // Handshake ACK samples the SYN round trip.
             TcpState::Established if self.srtt.is_none() && self.rtt_sample.is_none() => {
@@ -913,32 +883,17 @@ impl Tcp {
                 }
                 let srtt = self.srtt.unwrap();
                 self.metrics.srtt_ns.record(srtt.as_nanos());
-                self.metrics.cwnd_bytes.record(self.cwnd as u64);
+                self.metrics.cwnd_bytes.record(self.cc.cwnd() as u64);
                 let var4 = self.rttvar * 4;
                 let floor = SimDuration::from_millis(1);
                 self.rto = (srtt + var4.max(floor))
                     .max(self.cfg.min_rto)
                     .min(self.cfg.max_rto);
                 self.rtt_sample = None;
-                // Hystart-style delay-increase exit from slow start: when
-                // queueing pushes the RTT well above the propagation
-                // baseline, stop doubling (mirrors Linux, which the
-                // paper's testbed runs).
-                self.min_rtt = Some(match self.min_rtt {
-                    Some(m) => m.min(r),
-                    None => r,
-                });
-                if self.cwnd < self.ssthresh {
-                    let base = self.min_rtt.unwrap();
-                    let threshold = base + (base / 4).max(SimDuration::from_millis(4));
-                    if r > threshold {
-                        self.ssthresh = self.cwnd;
-                        self.cubic_wmax = self.cwnd;
-                        self.cubic_epoch = None;
-                    }
-                }
+                return Some(r);
             }
         }
+        None
     }
 
     // ----- Segment construction -----

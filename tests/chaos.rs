@@ -368,6 +368,74 @@ fn detach_during_pending_attach_clears_retry_state() {
     assert_eq!(ue.attach_retries, 0);
 }
 
+#[test]
+fn telco_crash_reattach_resets_cc_state() {
+    // Regression for the CC-reset fix: a bTelco crash+restart wipes the
+    // IpPool, so the watchdog re-attach leases the SAME first address
+    // again and an established plain-TCP connection stays addressable —
+    // but its CUBIC epoch/w_max describe the pre-crash path. The host
+    // must reset per-connection CC state through the trait on re-attach.
+    let mut w = CellBricksWorld::build_chaos(26);
+    w.ue.start_attach(SimTime::ZERO, TELCO1, AGW1_SIG);
+    w.run_to(SECS(1));
+    assert!(w.ue.is_attached());
+    let addr = w.ue.host.addr().unwrap();
+
+    // Bulk upload FROM the UE so the UE-side sender CC is under test.
+    w.server.tcp_listen(5002);
+    let c =
+        w.ue.host
+            .tcp_connect(w.cursor, EndpointAddr::new(SERVER_IP, 5002));
+    w.run_to(SECS(2));
+    assert_eq!(w.server.take_accepted_tcp().len(), 1, "upload accepted");
+    w.ue.host.tcp_set_bulk(w.cursor, c);
+    w.run_to(SECS(8));
+
+    // By now the radio queue has bitten (Hystart exit or loss), so the
+    // sender carries learned path state: a finite ssthresh.
+    let ssthresh_before = w.ue.host.tcp(c).debug_cc().3;
+    assert!(
+        ssthresh_before.is_finite(),
+        "sender learned the path before the crash: {ssthresh_before}"
+    );
+
+    // bTelco 1 crashes at 8 s, restarts 1 s later, volatile state gone.
+    let mut plan = FaultPlan::new();
+    plan.crash_restart(w.agw1_node, SECS(8), SimDuration::from_secs(1));
+    w.driver.set_fault_plan(plan);
+
+    // Step in 100 ms increments until the watchdog re-attaches with the
+    // same address, then inspect CC state right at the re-attach edge —
+    // before post-recovery acks or timers can move it again.
+    let mut t = SECS(9);
+    loop {
+        w.run_to(t);
+        if w.ue.watchdog_reattaches >= 1 && w.ue.is_attached() && w.ue.host.addr() == Some(addr) {
+            break;
+        }
+        assert!(t < SECS(40), "re-attach converged within the horizon");
+        t += SimDuration::from_millis(100);
+    }
+    let (cwnd, ssthresh_after) = {
+        let tcp = w.ue.host.tcp(c);
+        (tcp.cwnd(), tcp.debug_cc().3)
+    };
+    assert!(
+        ssthresh_after.is_infinite(),
+        "re-attach reset CC: no w_max/ssthresh leak ({ssthresh_after})"
+    );
+    assert!(cwnd >= 14_600, "cwnd back at the initial window: {cwnd}");
+
+    // And the reset connection actually resumes moving data.
+    let una_mid = w.ue.host.tcp(c).debug_seq().0;
+    w.run_to(t + SimDuration::from_secs(10));
+    let una_after = w.ue.host.tcp(c).debug_seq().0;
+    assert!(
+        una_after > una_mid + 200_000,
+        "upload resumed after the reset: {una_mid} -> {una_after}"
+    );
+}
+
 /// One composite chaos run; returns every world-local metric worth
 /// comparing, floats captured bit-exactly.
 fn composite_chaos_fingerprint(seed: u64) -> Vec<u64> {
