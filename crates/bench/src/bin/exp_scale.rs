@@ -25,7 +25,11 @@
 //! hot path are as visible as throughput regressions.
 //!
 //! Usage: `cargo run --release -p cellbricks-bench --bin exp_scale
-//!         [--seed S] [--smoke]`
+//!         [--seed S] [--smoke] [--engine-only N] [--mega-only N]`
+//!
+//! `--engine-only` / `--mega-only` run a single row of the respective
+//! table — what CI's best-of-N floor protocol re-runs to take the
+//! fastest of several attempts.
 
 use bytes::Bytes;
 use cellbricks_core::brokerd::{Brokerd, BrokerdConfig};
@@ -35,8 +39,11 @@ use cellbricks_core::sap::QosCap;
 use cellbricks_core::ue::{UeDevice, UeDeviceConfig};
 use cellbricks_crypto::cert::CertificateAuthority;
 use cellbricks_epc::enb::Enb;
-use cellbricks_net::{Driver, Endpoint, LinkConfig, NetWorld, NodeId, Packet, Topology};
-use cellbricks_sim::{percentile, SimDuration, SimRng, SimTime};
+use cellbricks_net::{
+    make_cells, run_sharded, Driver, Endpoint, LinkConfig, NetWorld, NodeId, Packet, Router,
+    ShardPlan, Topology,
+};
+use cellbricks_sim::{percentile, Arena, SimDuration, SimRng, SimTime};
 use cellbricks_telemetry as telemetry;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -93,6 +100,225 @@ impl Endpoint for Sink {
         None
     }
     fn poll(&mut self, _now: SimTime, _out: &mut Vec<Packet>) {}
+}
+
+// ----- Mega sweep: 100k–1M lightweight UEs in a SoA arena -----
+
+/// Regions in the mega topology (each a bTelco: gateway router + sink).
+const MEGA_REGIONS: u32 = 8;
+
+/// The source address mega UEs stamp on their uplink ticks (routing and
+/// sink accounting ignore it, so one shared constant keeps the per-UE
+/// state to the hot fields below).
+const MEGA_SRC: Ipv4Addr = Ipv4Addr::new(172, 20, 0, 1);
+
+/// The sink address of region `r`.
+fn mega_sink_ip(r: u32) -> Ipv4Addr {
+    Ipv4Addr::new(10, r as u8, 0, 1)
+}
+
+/// A mega-scale UE: a timer and a destination — nothing else. A full
+/// [`UeDevice`] carries keys, SAP state and a host stack (hundreds of
+/// bytes plus heap); at N=1M only this dense hot state is affordable,
+/// and the whole fleet lives in one [`Arena`].
+struct MegaUe {
+    node: NodeId,
+    dst: Ipv4Addr,
+    next: SimTime,
+    stop: SimTime,
+    interval: SimDuration,
+    sent: u64,
+}
+
+impl Endpoint for MegaUe {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+    fn handle_packet(&mut self, _now: SimTime, _pkt: Packet, _out: &mut Vec<Packet>) {}
+    fn poll_at(&self) -> Option<SimTime> {
+        (self.next < self.stop).then_some(self.next)
+    }
+    fn poll(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        while self.next <= now && self.next < self.stop {
+            out.push(Packet::control(
+                MEGA_SRC,
+                self.dst,
+                Bytes::from_static(b"m"),
+            ));
+            self.next += self.interval;
+            self.sent += 1;
+        }
+    }
+}
+
+struct MegaWorld {
+    topology_plan: ShardPlan,
+    lookahead: Option<SimDuration>,
+    world: NetWorld,
+    hub: Router,
+    gws: Vec<Router>,
+    sinks: Vec<Sink>,
+    ues: Arena<MegaUe>,
+}
+
+struct MegaResult {
+    n: usize,
+    shards: usize,
+    events_per_sec: f64,
+    bytes_per_ue: f64,
+    sent: u64,
+    received: u64,
+}
+
+/// Build the mega world: `MEGA_REGIONS` bTelco regions (gateway router +
+/// sink each) hanging off a hub, and `n` [`MegaUe`]s round-robined
+/// across the regions. Every UE ticks once per `n` µs (≈1M packets/s
+/// fleet-wide at any N) staggered by its index; every 16th UE targets
+/// the *next* region's sink, so a sharded run has steady cross-shard
+/// traffic. The 2 ms gateway↔hub links are the only links that can
+/// cross shards — they set the conservative lookahead.
+fn build_mega(n: usize, seed: u64, duration: SimDuration, shards: usize) -> MegaWorld {
+    let mut t = Topology::new();
+    let hub_node = t.add_node_in_region("hub", 0);
+    let hub = Router::new(hub_node, SimDuration::from_micros(1));
+    let mut gws = Vec::with_capacity(MEGA_REGIONS as usize);
+    let mut sinks = Vec::with_capacity(MEGA_REGIONS as usize);
+    let mut gw_nodes = Vec::with_capacity(MEGA_REGIONS as usize);
+    for r in 0..MEGA_REGIONS {
+        let gw_node = t.add_node_in_region(&format!("gw{r}"), r);
+        let sink_node = t.add_node_in_region(&format!("sink{r}"), r);
+        let up = t.add_symmetric_link(
+            gw_node,
+            hub_node,
+            LinkConfig::delay_only(SimDuration::from_millis(2)),
+        );
+        let down = t.add_symmetric_link(
+            gw_node,
+            sink_node,
+            LinkConfig::delay_only(SimDuration::from_micros(100)),
+        );
+        t.add_route(gw_node, mega_sink_ip(r), 32, down);
+        t.add_default_route(gw_node, up);
+        t.add_route(hub_node, Ipv4Addr::new(10, r as u8, 0, 0), 16, up);
+        gws.push(Router::new(gw_node, SimDuration::from_micros(1)));
+        sinks.push(Sink {
+            node: sink_node,
+            received: 0,
+        });
+        gw_nodes.push(gw_node);
+    }
+
+    let interval = SimDuration::from_micros(n as u64);
+    let mut ues = Arena::with_capacity(n);
+    for i in 0..n {
+        let r = (i as u32) % MEGA_REGIONS;
+        let ue_node = t.add_node_in_region(&format!("u{i}"), r);
+        let radio = t.add_symmetric_link(
+            ue_node,
+            gw_nodes[r as usize],
+            LinkConfig::delay_only(SimDuration::from_micros(500)),
+        );
+        t.add_default_route(ue_node, radio);
+        // Every 16th UE exercises the inter-region fabric.
+        let dst_region = if i % 16 == 0 {
+            (r + 1) % MEGA_REGIONS
+        } else {
+            r
+        };
+        ues.push(MegaUe {
+            node: ue_node,
+            dst: mega_sink_ip(dst_region),
+            next: SimTime::ZERO + SimDuration::from_micros(i as u64 % n as u64),
+            stop: SimTime::ZERO + duration,
+            interval,
+            sent: 0,
+        });
+    }
+
+    // The plan and lookahead come from the topology *before* the world
+    // consumes it.
+    let plan = ShardPlan::by_region(&t, shards);
+    let lookahead = plan.lookahead(&t);
+    MegaWorld {
+        topology_plan: plan,
+        lookahead,
+        world: NetWorld::new(t, SimRng::new(seed)),
+        hub,
+        gws,
+        sinks,
+        ues,
+    }
+}
+
+fn run_mega(n: usize, seed: u64, duration: SimDuration, shards: usize) -> MegaResult {
+    let build_phase = cellbricks_bench::alloc_count::Phase::start();
+    let mut mw = build_mega(n, seed, duration, shards);
+    let (_, build_bytes) = build_phase.export(&format!("exp_scale.mega.n{n}.build"));
+    let bytes_per_ue = build_bytes as f64 / n as f64;
+    telemetry::gauge(format!("exp_scale.mega.n{n}.bytes_per_ue")).set(bytes_per_ue as i64);
+    telemetry::gauge("sim.arena.mega_ue.capacity").set(mw.ues.capacity() as i64);
+    telemetry::gauge("sim.arena.mega_ue.occupancy").set(mw.ues.len() as i64);
+    telemetry::gauge("sim.arena.mega_ue.bytes_peak").set(mw.ues.bytes_capacity() as i64);
+
+    // Drain the fleet: past `stop` plus the longest path (2×2 ms
+    // hub hops + slack) every tick has landed.
+    let until = SimTime::ZERO + duration + SimDuration::from_millis(20);
+    let ev0 = sched_events();
+    let run_phase = cellbricks_bench::alloc_count::Phase::start();
+    let t0 = std::time::Instant::now();
+    if shards > 1 {
+        let lookahead = mw.lookahead.expect("mega topology has cross-shard links");
+        let plan = mw.topology_plan;
+        let mut cells = make_cells(mw.world, &plan, seed ^ 0x6d65_6761);
+        let mut buckets: Vec<Vec<&mut (dyn Endpoint + Send)>> =
+            (0..cells.len()).map(|_| Vec::new()).collect();
+        buckets[plan.shard_of(Endpoint::node(&mw.hub))].push(&mut mw.hub);
+        for gw in &mut mw.gws {
+            buckets[plan.shard_of(Endpoint::node(gw))].push(gw);
+        }
+        for sink in &mut mw.sinks {
+            buckets[plan.shard_of(Endpoint::node(sink))].push(sink);
+        }
+        for ue in mw.ues.iter_mut() {
+            buckets[plan.shard_of(ue.node)].push(ue);
+        }
+        run_sharded(&mut cells, &mut buckets, until, lookahead);
+    } else {
+        let mut endpoints: Vec<&mut dyn Endpoint> =
+            Vec::with_capacity(mw.ues.len() + 2 * MEGA_REGIONS as usize + 1);
+        endpoints.push(&mut mw.hub);
+        for gw in &mut mw.gws {
+            endpoints.push(gw);
+        }
+        for sink in &mut mw.sinks {
+            endpoints.push(sink);
+        }
+        for ue in mw.ues.iter_mut() {
+            endpoints.push(ue);
+        }
+        Driver::new().run_to(&mut mw.world, &mut endpoints, until);
+    }
+    let wall = t0.elapsed();
+    run_phase.export(&format!("exp_scale.mega.n{n}.run"));
+    let events = sched_events() - ev0;
+    let eps = events_per_sec(events, wall);
+    telemetry::gauge(format!("exp_scale.mega.n{n}.events_per_sec")).set(eps as i64);
+    telemetry::gauge(format!("exp_scale.mega.n{n}.shards")).set(shards as i64);
+
+    let sent: u64 = mw.ues.iter().map(|u| u.sent).sum();
+    let received: u64 = mw.sinks.iter().map(|s| s.received).sum();
+    assert!(
+        received * 100 >= sent * 99,
+        "mega ticks lost: sent {sent}, received {received}"
+    );
+    MegaResult {
+        n,
+        shards,
+        events_per_sec: eps,
+        bytes_per_ue,
+        sent,
+        received,
+    }
 }
 
 struct ScaleResult {
@@ -349,19 +575,30 @@ fn run_engine_sweep(n: usize, seed: u64) -> EngineResult {
     let attached = sw.ues.iter().filter(|u| u.is_attached()).count();
     assert_eq!(attached, n, "all UEs must attach in the engine sweep");
 
-    // Phase B: steady state — N idle UEs, one 100 µs busy flow for 10 s.
+    // Phase B: steady state — N idle UEs, one 100 µs busy flow.
+    // Measured best-of-6: six identical 10 s windows, keeping the
+    // fastest — wall-clock interference on a shared box only ever slows
+    // a window down, so the max estimates the machine's true rate (the
+    // same protocol ci.sh applies across whole runs). Event and alloc
+    // counts are deterministic and identical per window; the gauges
+    // carry the last window's.
     sw.ticker.next = SimTime::from_secs(60);
-    sw.ticker.stop = SimTime::from_secs(70);
-    let ev1 = sched_events();
-    let alloc1 = cellbricks_bench::alloc_count::Phase::start();
-    let t1 = std::time::Instant::now();
-    sw.run_to(&mut driver, SimTime::from_secs(70));
-    let engine_wall = t1.elapsed();
-    let (engine_allocs, _) = alloc1.export(&format!("exp_scale.engine.n{n}"));
-    let engine_events = sched_events() - ev1;
+    sw.ticker.stop = SimTime::from_secs(120);
+    let mut engine_eps = 0.0_f64;
+    let mut engine_events = 0;
+    let mut engine_allocs = 0;
+    for window in 0..6_u64 {
+        let ev1 = sched_events();
+        let alloc1 = cellbricks_bench::alloc_count::Phase::start();
+        let t1 = std::time::Instant::now();
+        sw.run_to(&mut driver, SimTime::from_secs(70 + 10 * window));
+        let engine_wall = t1.elapsed();
+        (engine_allocs, _) = alloc1.export(&format!("exp_scale.engine.n{n}"));
+        engine_events = sched_events() - ev1;
+        engine_eps = engine_eps.max(events_per_sec(engine_events, engine_wall));
+    }
 
     let attach_eps = events_per_sec(attach_events, attach_wall);
-    let engine_eps = events_per_sec(engine_events, engine_wall);
     telemetry::gauge(format!("exp_scale.attach.n{n}.events_per_sec")).set(attach_eps as i64);
     telemetry::gauge(format!("exp_scale.engine.n{n}.events_per_sec")).set(engine_eps as i64);
     EngineResult {
@@ -373,10 +610,53 @@ fn run_engine_sweep(n: usize, seed: u64) -> EngineResult {
     }
 }
 
+fn print_mega_header(shards: usize) {
+    println!();
+    println!("Mega — SoA arena UEs, {MEGA_REGIONS} regions, {shards} shard(s)");
+    println!("{}", "-".repeat(78));
+    println!(
+        "{:>9} {:>7} {:>14} {:>10} {:>12} {:>12}",
+        "N", "shards", "ev/s", "bytes/UE", "sent", "received"
+    );
+    println!("{}", "-".repeat(78));
+}
+
+fn print_mega_row(r: &MegaResult) {
+    println!(
+        "{:>9} {:>7} {:>14.0} {:>10.0} {:>12} {:>12}",
+        r.n, r.shards, r.events_per_sec, r.bytes_per_ue, r.sent, r.received
+    );
+}
+
 fn main() {
     cellbricks_bench::telemetry_init();
     let seed = cellbricks_bench::arg_u64("--seed", 42);
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let shards = cellbricks_bench::env_shards();
+
+    // `--engine-only N` / `--mega-only N`: one row of one table (CI's
+    // best-of-N floor protocol re-runs these to take the fastest of
+    // several attempts).
+    let engine_only = cellbricks_bench::arg_u64("--engine-only", 0) as usize;
+    if engine_only > 0 {
+        let r = run_engine_sweep(engine_only, seed);
+        println!(
+            "engine n{}: steady-state {:.0} ev/s ({:.3} alloc/ev)",
+            r.n, r.engine_events_per_sec, r.engine_allocs_per_event
+        );
+        cellbricks_bench::telemetry_finish("exp_scale");
+        return;
+    }
+    let mega_only = cellbricks_bench::arg_u64("--mega-only", 0) as usize;
+    if mega_only > 0 {
+        print_mega_header(shards);
+        let r = run_mega(mega_only, seed, SimDuration::from_secs(3), shards);
+        print_mega_row(&r);
+        println!("{}", "-".repeat(78));
+        cellbricks_bench::telemetry_finish("exp_scale");
+        return;
+    }
+
     println!("Scale — N UEs attaching simultaneously through one bTelco + broker");
     println!("{}", "-".repeat(86));
     println!(
@@ -438,6 +718,28 @@ fn main() {
         "reading: steady-state events/sec is the pure engine rate — N idle\n\
          UEs on hour-long report timers plus one 100 µs flow — so it falls\n\
          off a cliff if waking an endpoint costs a scan of all N."
+    );
+
+    print_mega_header(shards);
+    let mega_ns: &[usize] = if smoke {
+        &[10_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
+    let mega_dur = SimDuration::from_secs(if smoke { 3 } else { 10 });
+    for &n in mega_ns {
+        let r = run_mega(n, seed, mega_dur, shards);
+        print_mega_row(&r);
+    }
+    println!("{}", "-".repeat(78));
+    println!(
+        "reading: a mega UE is a timer and a destination in a dense SoA\n\
+         arena — the per-UE attach machinery is measured above; this row\n\
+         measures whether the *engine* (timing wheel, dense node map,\n\
+         shard barrier) sustains a million endpoints. bytes/UE is the\n\
+         allocator bill of building the world, divided by N. Set\n\
+         CELLBRICKS_SHARDS>1 to run the conservative-lookahead parallel\n\
+         engine; results are then bit-identical for any shard count."
     );
     cellbricks_bench::telemetry_finish("exp_scale");
 }

@@ -110,19 +110,39 @@ enum Deferred {
 }
 
 /// The CellBricks UE device endpoint.
+///
+/// Memory layout: the fields touched on every `poll`/`poll_at` come
+/// first, and the cold, construction-time configuration (keys, broker
+/// names, delay knobs — several hundred bytes) lives behind one `Box`,
+/// so a fleet of devices keeps its per-poll working set dense.
 pub struct UeDevice {
+    // --- Hot: read on every poll_at/poll ---
     node: NodeId,
-    cfg: UeDeviceConfig,
+    /// When the last downlink data packet arrived (watchdog reference).
+    last_dl_at: SimTime,
+    attach_deadline: Option<SimTime>,
+    next_report_at: Option<SimTime>,
+    /// Scheduled fresh attach cycle after retry exhaustion.
+    reattach_at: Option<SimTime>,
+    /// Hot mirror of `cfg.recovery.reattach_after`: `poll_at` computes
+    /// the watchdog deadline on every call and must not chase the boxed
+    /// config to do it. Kept in sync by [`Self::set_recovery`].
+    watchdog_after: Option<SimDuration>,
+    pending: EventQueue<Packet>,
+    deferred: EventQueue<Deferred>,
     /// The device's transport stack (TCP/MPTCP/UDP sockets live here).
     pub host: Host,
+    // --- Warm: attach/billing session state ---
     rng: SimRng,
     attach: Option<PendingAttach>,
     serving: Option<Serving>,
     meter: Option<BasebandMeter>,
-    pending: EventQueue<Packet>,
-    deferred: EventQueue<Deferred>,
-    next_report_at: Option<SimTime>,
-    attach_deadline: Option<SimTime>,
+    /// The last attach target, for watchdog-driven re-attach.
+    last_target: Option<(String, Ipv4Addr)>,
+    /// When the watchdog declared the serving telco dead (recovery-latency
+    /// measurement anchor); cleared on the next successful attach.
+    recovering_since: Option<SimTime>,
+    // --- Accounting ---
     /// Attach latency samples, milliseconds.
     pub attach_latency_ms: Summary,
     /// Latency of the most recent successful attach.
@@ -135,17 +155,10 @@ pub struct UeDevice {
     pub proc_time: SimDuration,
     /// Attach requests re-sent after signalling loss.
     pub attach_retries: u64,
-    /// When the last downlink data packet arrived (watchdog reference).
-    last_dl_at: SimTime,
-    /// The last attach target, for watchdog-driven re-attach.
-    last_target: Option<(String, Ipv4Addr)>,
-    /// When the watchdog declared the serving telco dead (recovery-latency
-    /// measurement anchor); cleared on the next successful attach.
-    recovering_since: Option<SimTime>,
-    /// Scheduled fresh attach cycle after retry exhaustion.
-    reattach_at: Option<SimTime>,
     /// Times the inactivity watchdog forced a re-attach.
     pub watchdog_reattaches: u64,
+    // --- Cold: construction-time configuration, boxed off the hot path ---
+    cfg: Box<UeDeviceConfig>,
 }
 
 impl UeDevice {
@@ -155,7 +168,8 @@ impl UeDevice {
         Self {
             host: Host::new(node, None),
             node,
-            cfg,
+            watchdog_after: cfg.recovery.reattach_after,
+            cfg: Box::new(cfg),
             rng,
             attach: None,
             serving: None,
@@ -204,6 +218,7 @@ impl UeDevice {
     /// Replace the recovery configuration (harnesses that opt a built
     /// device into chaos-hardened behaviour).
     pub fn set_recovery(&mut self, recovery: RecoveryConfig) {
+        self.watchdog_after = recovery.reattach_after;
         self.cfg.recovery = recovery;
     }
 
@@ -427,7 +442,7 @@ impl Endpoint for UeDevice {
     }
 
     fn poll_at(&self) -> Option<SimTime> {
-        let watchdog = match (self.cfg.recovery.reattach_after, &self.serving) {
+        let watchdog = match (self.watchdog_after, &self.serving) {
             (Some(after), Some(_)) => Some(self.last_dl_at + after),
             _ => None,
         };
@@ -450,7 +465,7 @@ impl Endpoint for UeDevice {
         // configured window — the serving telco likely crashed and lost
         // the session (it will never page us again). Detach locally and
         // run a fresh SAP attach against the same target.
-        if let (Some(after), Some(_)) = (self.cfg.recovery.reattach_after, self.serving.as_ref()) {
+        if let (Some(after), Some(_)) = (self.watchdog_after, self.serving.as_ref()) {
             if now >= self.last_dl_at + after {
                 self.watchdog_reattaches += 1;
                 telemetry::counter("core.ue.watchdog_reattach").inc();

@@ -29,6 +29,7 @@ pub mod fault;
 pub mod link;
 pub mod packet;
 pub mod policy;
+pub mod shard;
 pub mod topology;
 pub mod wire;
 pub mod world;
@@ -41,5 +42,6 @@ pub use packet::{
     MAX_SACK_BLOCKS,
 };
 pub use policy::{CarrierPolicy, TimeOfDay};
+pub use shard::{make_cells, merged_link_stats, run_sharded, ShardCell, ShardPlan};
 pub use topology::{LinkId, NodeId, Topology};
-pub use world::{Endpoint, LinkStats, NetWorld, Router};
+pub use world::{CrossPacket, Endpoint, LinkStats, NetWorld, Router};

@@ -32,6 +32,9 @@ impl Route {
 pub(crate) struct Node {
     pub(crate) name: String,
     routes: Vec<Route>,
+    /// Partition label (bTelco/region) used by the sharded engine; nodes
+    /// default to region 0 and single-region topologies shard trivially.
+    pub(crate) region: u32,
 }
 
 pub(crate) struct Link {
@@ -58,13 +61,32 @@ impl Topology {
         Self::default()
     }
 
-    /// Add a node.
+    /// Add a node (in region 0).
     pub fn add_node(&mut self, name: &str) -> NodeId {
+        self.add_node_in_region(name, 0)
+    }
+
+    /// Add a node tagged with a bTelco/region label. The sharded engine
+    /// partitions the topology by this label (see `crate::shard`).
+    pub fn add_node_in_region(&mut self, name: &str, region: u32) -> NodeId {
         self.nodes.push(Node {
             name: name.to_string(),
             routes: Vec::new(),
+            region,
         });
         NodeId(self.nodes.len() - 1)
+    }
+
+    /// Re-tag `node` with a region label (for topologies built by code
+    /// that predates regions).
+    pub fn set_region(&mut self, node: NodeId, region: u32) {
+        self.nodes[node.0].region = region;
+    }
+
+    /// The region label of `node`.
+    #[must_use]
+    pub fn region(&self, node: NodeId) -> u32 {
+        self.nodes[node.0].region
     }
 
     /// Add a bidirectional link between `a` and `b` with per-direction
@@ -152,6 +174,63 @@ impl Topology {
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The two endpoints of `link` (the `a` side first — packets on the
+    /// `ab` direction flow a→b).
+    #[must_use]
+    pub fn link_ends(&self, link: LinkId) -> (NodeId, NodeId) {
+        let l = &self.links[link.0];
+        (l.a, l.b)
+    }
+
+    /// The propagation-delay floor of `link`: the smaller of its two
+    /// directions' configured latencies. The sharded engine's lookahead
+    /// is the minimum of this over all inter-shard links.
+    #[must_use]
+    pub fn link_latency_floor(&self, link: LinkId) -> cellbricks_sim::SimDuration {
+        let l = &self.links[link.0];
+        l.ab.config.latency.min(l.ba.config.latency)
+    }
+
+    /// Clone the topology for one shard: every node and link is present
+    /// (so `LinkId`/`NodeId` stay globally valid), but route tables are
+    /// kept only for nodes the shard owns — packets are only ever routed
+    /// from owned nodes, and dropping the rest keeps per-shard clones
+    /// lean at N=1M.
+    pub(crate) fn clone_for_shard(&self, owns: impl Fn(usize) -> bool) -> Topology {
+        Topology {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| Node {
+                    name: n.name.clone(),
+                    routes: if owns(i) {
+                        n.routes.clone()
+                    } else {
+                        Vec::new()
+                    },
+                    region: n.region,
+                })
+                .collect(),
+            links: self
+                .links
+                .iter()
+                .map(|l| Link {
+                    a: l.a,
+                    b: l.b,
+                    ab: l.ab.clone(),
+                    ba: l.ba.clone(),
+                })
+                .collect(),
+        }
     }
 }
 

@@ -9,9 +9,11 @@
 use crate::fault::{BurstLoss, EndpointFault};
 use crate::link::{DropCause, Offer};
 use crate::packet::Packet;
+use crate::shard::{mix, ShardPlan};
 use crate::topology::{LinkId, NodeId, Topology};
 use cellbricks_sim::{EventQueue, SimRng, SimTime, TimerWheel};
 use cellbricks_telemetry as telemetry;
+use std::sync::Arc;
 
 /// A protocol participant attached to a topology node.
 ///
@@ -38,6 +40,63 @@ pub trait Endpoint {
 struct Arrival {
     node: NodeId,
     pkt: Packet,
+    /// Canonical stream key `(link << 1) | direction` — the total order
+    /// over same-instant arrivals in sharded mode. 0 in legacy mode
+    /// (where wheel FIFO order is the contract).
+    key: u32,
+    /// Per-stream insertion sequence (sharded mode; 0 in legacy mode).
+    seq: u64,
+}
+
+/// A packet bound for a node another shard owns, carried from the source
+/// shard's [`NetWorld`] to the destination shard at the conservative
+/// sync barrier (see [`crate::shard`]).
+pub struct CrossPacket {
+    dst_shard: u32,
+    at: SimTime,
+    node: NodeId,
+    key: u32,
+    seq: u64,
+    pkt: Packet,
+}
+
+impl CrossPacket {
+    /// The shard that owns the destination node.
+    #[must_use]
+    pub fn dst_shard(&self) -> usize {
+        self.dst_shard as usize
+    }
+
+    /// The arrival instant at the destination node.
+    #[must_use]
+    pub fn arrives_at(&self) -> SimTime {
+        self.at
+    }
+}
+
+/// Sharded-mode state of a [`NetWorld`] slice (absent on the legacy
+/// single-world path, which the figure-replay gate pins byte-for-byte).
+///
+/// Determinism across shard counts hinges on two ideas here:
+/// * every link **direction** gets its own RNG stream, seeded from
+///   `(stream_seed, link, dir)` — a direction is only ever exercised by
+///   the shard owning its source node, so the sample sequence any
+///   direction sees is the same no matter how nodes are partitioned;
+/// * every delivered packet is tagged `(key, seq)` = (direction, per-
+///   direction insertion ordinal), and arrivals dispatch in
+///   `(time, key, seq)` order — a total order independent of which shard
+///   produced the packet or when it crossed the barrier.
+struct ShardState {
+    /// This world's shard index.
+    shard: u32,
+    /// Owning shard per node, indexed by dense `NodeId`.
+    node_shard: Arc<Vec<u32>>,
+    /// One RNG per link direction, indexed `[link][dir]`.
+    dir_rngs: Vec<[SimRng; 2]>,
+    /// Per-direction delivery ordinals, indexed `[link][dir]`.
+    dir_seq: Vec<[u64; 2]>,
+    /// Deliveries bound for other shards, awaiting the barrier.
+    outbox: Vec<CrossPacket>,
 }
 
 /// Per-link delivery/drop counters.
@@ -102,6 +161,10 @@ pub struct NetWorld {
     /// Packets dropped because no route matched.
     pub no_route_drops: u64,
     metrics: WorldMetrics,
+    /// Sharded-mode state; `None` on the legacy single-world path.
+    shard: Option<Box<ShardState>>,
+    /// Scratch for the canonical-order drain (sharded mode only).
+    drain_scratch: Vec<(SimTime, u32, u64, NodeId, Packet)>,
 }
 
 impl NetWorld {
@@ -114,7 +177,73 @@ impl NetWorld {
             rng,
             no_route_drops: 0,
             metrics: WorldMetrics::register(),
+            shard: None,
+            drain_scratch: Vec::new(),
         }
+    }
+
+    /// Split this world into one slice per shard of `plan`.
+    ///
+    /// Each slice clones the topology (route tables only for owned
+    /// nodes) and carries its own arrival wheel; loss/burst decisions
+    /// switch from the world RNG to per-link-direction streams seeded
+    /// from `stream_seed`, which is what makes results bit-identical for
+    /// any shard count (including 1). Sharded results therefore differ
+    /// from the legacy path's — the legacy RNG stream is pinned by the
+    /// figure-replay gate and is not touched.
+    ///
+    /// # Panics
+    /// Panics if packets are already in flight (split before traffic).
+    #[must_use]
+    pub fn into_shards(mut self, plan: &ShardPlan, stream_seed: u64) -> Vec<NetWorld> {
+        assert!(
+            self.arrivals.is_empty(),
+            "into_shards with packets in flight"
+        );
+        let node_shard = plan.node_shard_arc();
+        assert_eq!(
+            node_shard.len(),
+            self.topology.node_count(),
+            "shard plan built for a different topology"
+        );
+        let links = self.topology.link_count();
+        let topo = std::mem::take(&mut self.topology);
+        (0..plan.shards())
+            .map(|s| {
+                let dir_rngs = (0..links)
+                    .map(|l| {
+                        let l = l as u64;
+                        [
+                            SimRng::new(mix(stream_seed, l << 1)),
+                            SimRng::new(mix(stream_seed, (l << 1) | 1)),
+                        ]
+                    })
+                    .collect();
+                NetWorld {
+                    topology: topo.clone_for_shard(|n| node_shard[n] == s as u32),
+                    arrivals: TimerWheel::new(),
+                    // Unused by sharded sends; kept so the API surface
+                    // (e.g. future per-shard jitter) has a stream.
+                    rng: SimRng::new(mix(stream_seed, 0x5eed_0000 | s as u64)),
+                    no_route_drops: 0,
+                    metrics: WorldMetrics::register(),
+                    shard: Some(Box::new(ShardState {
+                        shard: s as u32,
+                        node_shard: node_shard.clone(),
+                        dir_rngs,
+                        dir_seq: vec![[0; 2]; links],
+                        outbox: Vec::new(),
+                    })),
+                    drain_scratch: Vec::new(),
+                }
+            })
+            .collect()
+    }
+
+    /// This world's shard index (`None` on the legacy path).
+    #[must_use]
+    pub fn shard_id(&self) -> Option<usize> {
+        self.shard.as_ref().map(|s| s.shard as usize)
     }
 
     /// The topology (routes may be inspected but links carry state).
@@ -138,12 +267,30 @@ impl NetWorld {
         };
         let peer = self.topology.peer(link, from);
         let size = pkt.wire_size();
-        let draw = self.rng.unit();
+        // Loss samples: legacy mode draws from the world RNG in the exact
+        // order the figure-replay gate pins; sharded mode draws from the
+        // per-direction stream so the sequence a direction sees does not
+        // depend on the partition (see [`ShardState`]).
+        let dir_is_ba = {
+            let l = &self.topology.links[link.0];
+            l.a != from
+        };
+        let (draw, burst_draw) = {
+            let l = &self.topology.links[link.0];
+            let dir = if dir_is_ba { &l.ba } else { &l.ab };
+            let has_burst = dir.burst_installed();
+            let r = match &mut self.shard {
+                Some(sh) => &mut sh.dir_rngs[link.0][usize::from(dir_is_ba)],
+                None => &mut self.rng,
+            };
+            let draw = r.unit();
+            // Links without a burst model consume exactly one sample per
+            // send, so installing one elsewhere never perturbs this
+            // link's stream.
+            (draw, has_burst.then(|| r.unit()))
+        };
         let l = &mut self.topology.links[link.0];
-        let dir = if l.a == from { &mut l.ab } else { &mut l.ba };
-        // Links without a burst model consume exactly one sample per send,
-        // so installing one elsewhere never perturbs this link's stream.
-        let burst_draw = dir.burst_installed().then(|| self.rng.unit());
+        let dir = if dir_is_ba { &mut l.ba } else { &mut l.ab };
         let policer_before = dir.policer_hits;
         let offer = dir.offer(now, size, draw, burst_draw);
         if dir.policer_hits != policer_before {
@@ -153,8 +300,40 @@ impl NetWorld {
             Offer::Deliver(at) => {
                 self.metrics.delivered.inc();
                 self.metrics.delivered_bytes.add(u64::from(size));
-                self.arrivals.insert(at, Arrival { node: peer, pkt });
-                self.metrics.in_flight.set(self.arrivals.len() as i64);
+                let (key, seq, remote) = match &mut self.shard {
+                    Some(sh) => {
+                        let d = usize::from(dir_is_ba);
+                        let seq = sh.dir_seq[link.0][d];
+                        sh.dir_seq[link.0][d] += 1;
+                        let key = (link.0 as u32) << 1 | d as u32;
+                        let dst = sh.node_shard[peer.0];
+                        (key, seq, (dst != sh.shard).then_some(dst))
+                    }
+                    None => (0, 0, None),
+                };
+                if let Some(dst_shard) = remote {
+                    // Bound for another shard: park it in the outbox for
+                    // the barrier exchange instead of the local wheel.
+                    self.shard.as_mut().unwrap().outbox.push(CrossPacket {
+                        dst_shard,
+                        at,
+                        node: peer,
+                        key,
+                        seq,
+                        pkt,
+                    });
+                } else {
+                    self.arrivals.insert(
+                        at,
+                        Arrival {
+                            node: peer,
+                            pkt,
+                            key,
+                            seq,
+                        },
+                    );
+                    self.metrics.in_flight.add(1);
+                }
             }
             Offer::Drop(cause) => {
                 match cause {
@@ -178,13 +357,73 @@ impl NetWorld {
     /// Pop all arrivals due at or before `now`, appending them to `out` —
     /// a caller-owned reusable buffer, so the hot loop never allocates a
     /// fresh `Vec` per iteration.
+    ///
+    /// Legacy mode preserves the wheel's (time, FIFO) pop order exactly.
+    /// Sharded mode re-sorts the drained batch into the canonical
+    /// `(time, direction key, per-direction seq)` order — a total order
+    /// that does not depend on wheel insertion order, and therefore not
+    /// on which barrier window a cross-shard packet was injected in.
     pub fn drain_arrivals_into(&mut self, now: SimTime, out: &mut Vec<(SimTime, NodeId, Packet)>) {
         let before = out.len();
-        while let Some((at, arrival)) = self.arrivals.pop_due(now) {
-            out.push((at, arrival.node, arrival.pkt));
+        if self.shard.is_some() {
+            debug_assert!(self.drain_scratch.is_empty());
+            while let Some((at, arrival)) = self.arrivals.pop_due(now) {
+                self.drain_scratch
+                    .push((at, arrival.key, arrival.seq, arrival.node, arrival.pkt));
+            }
+            self.drain_scratch.sort_unstable_by_key(|a| (a.0, a.1, a.2));
+            out.extend(
+                self.drain_scratch
+                    .drain(..)
+                    .map(|(at, _, _, node, pkt)| (at, node, pkt)),
+            );
+        } else {
+            while let Some((at, arrival)) = self.arrivals.pop_due(now) {
+                out.push((at, arrival.node, arrival.pkt));
+            }
         }
-        if out.len() != before {
-            self.metrics.in_flight.set(self.arrivals.len() as i64);
+        let drained = out.len() - before;
+        if drained > 0 {
+            self.metrics.in_flight.add(-(drained as i64));
+        }
+    }
+
+    /// Move this shard's pending cross-shard deliveries into `out`
+    /// (called by the barrier loop after each window). No-op in legacy
+    /// mode.
+    pub fn drain_outbox_into(&mut self, out: &mut Vec<CrossPacket>) {
+        if let Some(sh) = &mut self.shard {
+            out.append(&mut sh.outbox);
+        }
+    }
+
+    /// Accept cross-shard deliveries produced by other shards' worlds.
+    /// Arrival instants are conservatively in the future (≥ the barrier
+    /// horizon); the canonical drain order makes the wheel insertion
+    /// order here irrelevant.
+    ///
+    /// # Panics
+    /// Panics if called on a legacy (non-sharded) world or handed a
+    /// packet owned by a different shard.
+    pub fn inject_cross(&mut self, batch: impl IntoIterator<Item = CrossPacket>) {
+        let sh = self.shard.as_ref().expect("inject_cross on legacy world");
+        let shard = sh.shard;
+        let mut n = 0i64;
+        for m in batch {
+            assert_eq!(m.dst_shard, shard, "cross packet routed to wrong shard");
+            self.arrivals.insert(
+                m.at,
+                Arrival {
+                    node: m.node,
+                    pkt: m.pkt,
+                    key: m.key,
+                    seq: m.seq,
+                },
+            );
+            n += 1;
+        }
+        if n > 0 {
+            self.metrics.in_flight.add(n);
         }
     }
 

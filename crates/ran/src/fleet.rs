@@ -1,0 +1,223 @@
+//! Dense structure-of-arrays radio state for large UE fleets.
+//!
+//! [`crate::mobility::DriveSim`] models one richly-instrumented UE; a
+//! million-UE run cannot afford a `HashMap<TowerId, f64>` per device.
+//! [`FleetRadioState`] keeps the per-UE mobility hot state — serving
+//! cell, L3-filtered serving RSRP, last-handover time — in three dense
+//! columns indexed by a fleet-local id, so the per-tick working set is
+//! `3 × 8` bytes per UE, contiguous, and trivially reported through the
+//! `sim.arena.*` gauges by whoever owns the fleet.
+//!
+//! The selection rule is the same A3-style comparison as
+//! [`crate::mobility::CellSelector`]: a candidate must beat the
+//! L3-filtered serving RSRP by `hysteresis_db` and the UE must have
+//! dwelt on the serving cell for `min_dwell`.
+
+use crate::radio::TowerId;
+use cellbricks_sim::{SimDuration, SimTime};
+
+/// Index of a UE inside a [`FleetRadioState`] (dense, starts at 0).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FleetUeId(pub u32);
+
+/// SoA hot state for a fleet of UEs running strongest-cell selection.
+pub struct FleetRadioState {
+    /// Candidate must beat the filtered serving RSRP by this margin, dB.
+    pub hysteresis_db: f64,
+    /// Minimum time between handovers per UE (suppresses ping-pong).
+    pub min_dwell: SimDuration,
+    /// L3 filter coefficient in `[0, 1)`: weight of the previous
+    /// filtered value.
+    pub l3_filter: f64,
+    /// Column: serving cell per UE.
+    serving: Vec<TowerId>,
+    /// Column: L3-filtered serving-cell RSRP per UE, dBm.
+    filtered_rsrp: Vec<f64>,
+    /// Column: when the UE last handed over.
+    last_ho: Vec<SimTime>,
+    /// Total handovers executed across the fleet.
+    handovers: u64,
+}
+
+impl FleetRadioState {
+    /// An empty fleet with the given selection parameters.
+    #[must_use]
+    pub fn new(hysteresis_db: f64, min_dwell: SimDuration, l3_filter: f64) -> Self {
+        assert!((0.0..1.0).contains(&l3_filter), "filter coeff in [0,1)");
+        Self {
+            hysteresis_db,
+            min_dwell,
+            l3_filter,
+            serving: Vec::new(),
+            filtered_rsrp: Vec::new(),
+            last_ho: Vec::new(),
+            handovers: 0,
+        }
+    }
+
+    /// Pre-size every column for `n` UEs (one reservation each — no
+    /// incremental regrowth while building a million-UE fleet).
+    pub fn reserve(&mut self, n: usize) {
+        self.serving.reserve(n);
+        self.filtered_rsrp.reserve(n);
+        self.last_ho.reserve(n);
+    }
+
+    /// Admit a UE camped on `serving` with an initial RSRP measurement.
+    /// Ids are dense and returned in admission order.
+    ///
+    /// # Panics
+    /// Panics past `u32::MAX` UEs.
+    pub fn add_ue(&mut self, serving: TowerId, initial_rsrp_dbm: f64) -> FleetUeId {
+        let id = u32::try_from(self.serving.len()).expect("fleet exceeds u32 ids");
+        self.serving.push(serving);
+        self.filtered_rsrp.push(initial_rsrp_dbm);
+        self.last_ho.push(SimTime::ZERO);
+        FleetUeId(id)
+    }
+
+    /// Number of UEs in the fleet.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.serving.len()
+    }
+
+    /// True if no UE has been admitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.serving.is_empty()
+    }
+
+    /// Bytes reserved by the SoA columns (capacity, not occupancy) —
+    /// the number the owner publishes as `sim.arena.<fleet>.bytes_peak`.
+    #[must_use]
+    pub fn bytes_capacity(&self) -> usize {
+        self.serving.capacity() * std::mem::size_of::<TowerId>()
+            + self.filtered_rsrp.capacity() * std::mem::size_of::<f64>()
+            + self.last_ho.capacity() * std::mem::size_of::<SimTime>()
+    }
+
+    /// The UE's serving cell.
+    #[must_use]
+    pub fn serving(&self, ue: FleetUeId) -> TowerId {
+        self.serving[ue.0 as usize]
+    }
+
+    /// The UE's L3-filtered serving RSRP, dBm.
+    #[must_use]
+    pub fn filtered_rsrp(&self, ue: FleetUeId) -> f64 {
+        self.filtered_rsrp[ue.0 as usize]
+    }
+
+    /// When the UE last handed over (`SimTime::ZERO` if never).
+    #[must_use]
+    pub fn last_handover(&self, ue: FleetUeId) -> SimTime {
+        self.last_ho[ue.0 as usize]
+    }
+
+    /// Total handovers executed across the fleet.
+    #[must_use]
+    pub fn handovers(&self) -> u64 {
+        self.handovers
+    }
+
+    /// Fold a raw serving-cell RSRP sample into the UE's L3 filter.
+    pub fn observe(&mut self, ue: FleetUeId, raw_rsrp_dbm: f64) {
+        let f = &mut self.filtered_rsrp[ue.0 as usize];
+        *f = self.l3_filter * *f + (1.0 - self.l3_filter) * raw_rsrp_dbm;
+    }
+
+    /// Offer the UE its strongest neighbour. Executes the handover —
+    /// serving swaps, the filter re-seeds from the candidate measurement,
+    /// the dwell clock restarts — iff the A3 margin and dwell both pass.
+    /// Returns whether the handover happened.
+    pub fn maybe_handover(
+        &mut self,
+        ue: FleetUeId,
+        now: SimTime,
+        candidate: TowerId,
+        candidate_rsrp_dbm: f64,
+    ) -> bool {
+        let i = ue.0 as usize;
+        if candidate == self.serving[i] {
+            return false;
+        }
+        let dwell_ok = now.saturating_since(self.last_ho[i]) >= self.min_dwell;
+        if !dwell_ok || candidate_rsrp_dbm <= self.filtered_rsrp[i] + self.hysteresis_db {
+            return false;
+        }
+        self.serving[i] = candidate;
+        self.filtered_rsrp[i] = candidate_rsrp_dbm;
+        self.last_ho[i] = now;
+        self.handovers += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> FleetRadioState {
+        FleetRadioState::new(3.0, SimDuration::from_secs(4), 0.9)
+    }
+
+    #[test]
+    fn ids_are_dense_and_columns_grow_together() {
+        let mut f = fleet();
+        for i in 0..100u32 {
+            let id = f.add_ue(TowerId(i % 7), -80.0 - f64::from(i));
+            assert_eq!(id, FleetUeId(i));
+        }
+        assert_eq!(f.len(), 100);
+        assert_eq!(f.serving(FleetUeId(13)), TowerId(6));
+        assert_eq!(f.filtered_rsrp(FleetUeId(13)), -93.0);
+        assert_eq!(f.last_handover(FleetUeId(13)), SimTime::ZERO);
+        assert!(f.bytes_capacity() >= 100 * (4 + 8 + 8));
+    }
+
+    #[test]
+    fn observe_applies_l3_filter() {
+        let mut f = fleet();
+        let ue = f.add_ue(TowerId(0), -80.0);
+        f.observe(ue, -90.0);
+        assert!((f.filtered_rsrp(ue) - (0.9 * -80.0 + 0.1 * -90.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hysteresis_blocks_marginal_candidates() {
+        let mut f = fleet();
+        let ue = f.add_ue(TowerId(0), -85.0);
+        let t = SimTime::from_secs(10);
+        // 2 dB better: inside the 3 dB margin, no handover.
+        assert!(!f.maybe_handover(ue, t, TowerId(1), -83.0));
+        assert_eq!(f.serving(ue), TowerId(0));
+        // 4 dB better: handover.
+        assert!(f.maybe_handover(ue, t, TowerId(1), -81.0));
+        assert_eq!(f.serving(ue), TowerId(1));
+        assert_eq!(f.filtered_rsrp(ue), -81.0);
+        assert_eq!(f.last_handover(ue), t);
+        assert_eq!(f.handovers(), 1);
+    }
+
+    #[test]
+    fn dwell_time_enforced() {
+        let mut f = fleet();
+        let ue = f.add_ue(TowerId(0), -100.0);
+        // Strong candidate, but the fleet-admission dwell clock (t=0)
+        // has not expired at t=2s.
+        assert!(!f.maybe_handover(ue, SimTime::from_secs(2), TowerId(1), -60.0));
+        assert!(f.maybe_handover(ue, SimTime::from_secs(4), TowerId(1), -60.0));
+        // And again: 2 s after the first handover is still too soon.
+        assert!(!f.maybe_handover(ue, SimTime::from_secs(6), TowerId(2), -20.0));
+        assert!(f.maybe_handover(ue, SimTime::from_secs(8), TowerId(2), -20.0));
+    }
+
+    #[test]
+    fn candidate_equal_to_serving_is_ignored() {
+        let mut f = fleet();
+        let ue = f.add_ue(TowerId(5), -120.0);
+        assert!(!f.maybe_handover(ue, SimTime::from_secs(100), TowerId(5), -10.0));
+        assert_eq!(f.handovers(), 0);
+    }
+}

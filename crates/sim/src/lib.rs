@@ -16,12 +16,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod wheel;
 
+pub use arena::{Arena, ArenaId};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{percentile, Summary, TimeSeries};

@@ -94,7 +94,7 @@ pub enum LossKind {
 /// corresponding events occur and reads back [`cwnd`](Self::cwnd) when
 /// deciding how much to put on the wire. Implementations must be
 /// deterministic functions of the reported events.
-pub trait CongestionControl: std::fmt::Debug {
+pub trait CongestionControl: std::fmt::Debug + Send {
     /// An ACK advanced `snd_una` by `newly_acked` bytes. `rtt_sample` is
     /// the RTT measured by this ACK, when it completed one (Karn's rule
     /// applies upstream). `flight` is the datapath's post-ACK estimate

@@ -48,6 +48,11 @@ pub struct Host {
     accepted_tcp: Vec<SockId>,
     accepted_mp: Vec<MpId>,
     out: Vec<Packet>,
+    /// Reusable scratch for [`Host::flush`] (emitted segments / staged
+    /// packets); kept across calls so steady-state flushing is
+    /// allocation-free.
+    scratch_segs: Vec<TcpSegment>,
+    scratch_staged: Vec<Packet>,
     next_port: u16,
     next_token: u64,
     /// Packets dropped because their source address was stale.
@@ -82,6 +87,8 @@ impl Host {
             accepted_tcp: Vec::new(),
             accepted_mp: Vec::new(),
             out: Vec::new(),
+            scratch_segs: Vec::new(),
+            scratch_staged: Vec::new(),
             next_port: 49_152,
             next_token: (node.0 as u64) << 32,
             stale_src_drops: 0,
@@ -397,8 +404,11 @@ impl Host {
 
     /// Run all sockets' emitters, enforcing source-address validity.
     pub fn flush(&mut self, now: SimTime) {
-        let mut segs: Vec<TcpSegment> = Vec::new();
-        let mut staged: Vec<Packet> = Vec::new();
+        if self.tcps.is_empty() && self.mps.is_empty() {
+            return;
+        }
+        let mut segs = std::mem::take(&mut self.scratch_segs);
+        let mut staged = std::mem::take(&mut self.scratch_staged);
         for tcp in self.tcps.iter_mut().flatten() {
             tcp.poll(now, &mut segs);
             for seg in segs.drain(..) {
@@ -408,13 +418,15 @@ impl Host {
         for mp in self.mps.iter_mut().flatten() {
             mp.poll(now, &mut staged);
         }
-        for pkt in staged {
+        for pkt in staged.drain(..) {
             if self.addr == Some(pkt.src) {
                 self.out.push(pkt);
             } else {
                 self.stale_src_drops += 1;
             }
         }
+        self.scratch_segs = segs;
+        self.scratch_staged = staged;
     }
 
     /// Run timers due at `now`.
@@ -429,6 +441,11 @@ impl Host {
     pub fn poll_at(&self) -> Option<SimTime> {
         if !self.out.is_empty() {
             return Some(SimTime::ZERO);
+        }
+        // Socket-free hosts (every idle mega-scale UE) answer without
+        // touching the socket tables at all.
+        if self.tcps.is_empty() && self.mps.is_empty() {
+            return None;
         }
         let tcp_min = self.tcps.iter().flatten().filter_map(|t| t.poll_at()).min();
         let mp_min = self.mps.iter().flatten().filter_map(|m| m.poll_at()).min();

@@ -97,8 +97,10 @@ pub enum TcpState {
 /// is flushed synchronously by `poll`.
 #[derive(Debug)]
 pub struct Tcp {
-    cfg: TcpConfig,
-    metrics: TcpMetrics,
+    // Layout note: the demux fields (`local`, `remote`, `state`) lead —
+    // the host scans every socket's 4-tuple for every arriving segment —
+    // and the cold tuning/telemetry handles trail the struct so a dense
+    // fleet of connections keeps its per-segment working set compact.
     /// Local address/port (source of emitted segments).
     pub local: EndpointAddr,
     /// Remote address/port.
@@ -179,6 +181,10 @@ pub struct Tcp {
     pub fast_retx_events: u64,
     /// Retransmission timeouts fired (diagnostics).
     pub rto_events: u64,
+
+    // --- Cold: construction-time tuning and telemetry handles ---
+    cfg: TcpConfig,
+    metrics: TcpMetrics,
 }
 
 /// Events surfaced to the caller by `on_segment`.
@@ -655,6 +661,7 @@ impl Tcp {
     /// The earliest timer deadline (RTO only; immediate work is flushed
     /// synchronously by `poll`).
     #[must_use]
+    #[inline]
     pub fn poll_at(&self) -> Option<SimTime> {
         self.rto_deadline
     }

@@ -224,6 +224,7 @@ impl CellBricksWorld {
     }
 
     /// Advance the whole world to `until`.
+    #[allow(dead_code)]
     pub fn run_to(&mut self, until: SimTime) {
         struct ServerEp<'a>(&'a mut Host);
         impl Endpoint for ServerEp<'_> {
