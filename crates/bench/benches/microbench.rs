@@ -150,6 +150,7 @@ fn bench_brokerd_scale(c: &mut Criterion) {
             ca: ca.public_key(),
             proc_delay: SimDuration::ZERO,
             epsilon: 0.005,
+            session_retention: SimDuration::from_secs(86_400),
         },
         rng.fork(),
     );

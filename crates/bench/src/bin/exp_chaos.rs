@@ -114,6 +114,7 @@ impl ChaosWorld {
                 ca: ca.public_key(),
                 proc_delay: ms(2),
                 epsilon: 0.05,
+                session_retention: SimDuration::from_secs(86_400),
             },
             rng.fork(),
         );
@@ -163,6 +164,7 @@ impl ChaosWorld {
                 attach_retry_after: SimDuration::from_secs(2),
                 attach_max_tries: 3,
                 recovery: RecoveryConfig::default(),
+                plane: None,
             },
             rng.fork(),
         );

@@ -38,6 +38,7 @@ fn detect_cycles(overcount: f64, epsilon: f64, cycles: u32, seed: u64) -> Option
             ca: ca.public_key(),
             proc_delay: SimDuration::ZERO,
             epsilon,
+            session_retention: SimDuration::from_secs(86_400),
         },
         rng.fork(),
     );
@@ -122,7 +123,7 @@ fn detect_cycles(overcount: f64, epsilon: f64, cycles: u32, seed: u64) -> Option
         );
         deliver(&mut brokerd, true, ue_sealed);
         deliver(&mut brokerd, false, telco_sealed);
-        if !brokerd.reputation.admit(telco_keys.identity()) {
+        if !brokerd.reputation().admit(telco_keys.identity()) {
             return Some(cycle + 1);
         }
     }

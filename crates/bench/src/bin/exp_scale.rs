@@ -402,6 +402,7 @@ impl ScaleWorld {
                 // broker here models only the authorization work.
                 proc_delay: SimDuration::from_millis(2),
                 epsilon: 0.01,
+                session_retention: SimDuration::from_secs(86_400),
             },
             rng.fork(),
         );
@@ -470,6 +471,7 @@ impl ScaleWorld {
                     },
                     attach_max_tries: 3,
                     recovery: cellbricks_core::ue::RecoveryConfig::default(),
+                    plane: None,
                 },
                 rng.fork(),
             ));

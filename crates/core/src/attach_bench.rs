@@ -309,6 +309,7 @@ pub fn run_cellbricks(
             ca: ca.public_key(),
             proc_delay: profile.cb_brokerd,
             epsilon: 0.005,
+            session_retention: SimDuration::from_secs(86_400),
         },
         rng.fork(),
     );
@@ -358,6 +359,7 @@ pub fn run_cellbricks(
             attach_retry_after: SimDuration::from_secs(2),
             attach_max_tries: 3,
             recovery: RecoveryConfig::default(),
+            plane: None,
         },
         rng.fork(),
     );

@@ -6,6 +6,14 @@
 //! keys, ingests the two independent streams of sealed traffic reports,
 //! runs the Fig. 5 discrepancy check, and feeds the reputation system
 //! that gates future authorizations.
+//!
+//! The durable slice of that state (subscriber DB, billing sessions,
+//! reputation, anti-replay window) lives in a [`BrokerStore`] behind an
+//! `Arc<Mutex<_>>`: a standalone broker owns a private store, while a
+//! replica pair in a [`crate::broker_plane::BrokerPlane`] shares one —
+//! the paper's broker is a cloud service over replicated storage, so
+//! failover to the standby replica resolves the same subscribers,
+//! sessions and seen nonces.
 
 use crate::billing::{verify_cycle, CycleVerdict, TrafficReport};
 use crate::principal::{BrokerKeys, Identity};
@@ -18,8 +26,9 @@ use cellbricks_epc::wire::{Reader, Writer};
 use cellbricks_net::{Endpoint, EndpointFault, NodeId, Packet, PacketKind};
 use cellbricks_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use cellbricks_telemetry as telemetry;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::Ipv4Addr;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Control-plane messages between bTelcos/UEs and the broker.
 #[derive(Clone, Debug, PartialEq)]
@@ -139,6 +148,156 @@ struct Session {
     pub settled_dl: u64,
     /// Uplink bytes the broker accepts as billable.
     pub settled_ul: u64,
+    /// Last instant the broker saw traffic for this session (creation,
+    /// or a report arriving over the network); idle-expiry reference.
+    last_activity: SimTime,
+}
+
+/// FIFO cap on the anti-replay nonce window, mirroring the crypto-layer
+/// key caches: a replayed `authReqT` is only useful to an attacker while
+/// the original authorization is recent, so the window holds the most
+/// recent authorizations and evicts the oldest past the cap. 64 Ki
+/// nonces (1 MiB) is orders of magnitude more than any in-flight attach
+/// horizon; without the cap, million-UE attach churn grows the set
+/// forever.
+pub const NONCE_WINDOW_CAP: usize = 1 << 16;
+
+/// The durable state of one broker shard: everything the paper's broker
+/// keeps in replicated cloud storage, as opposed to the per-process
+/// state (service queue, busy horizon) that dies with an instance.
+///
+/// Shared via `Arc<Mutex<_>>` between the replicas of a shard; the
+/// simulation is single-threaded per engine shard, so the lock is
+/// uncontended and exists to keep `Brokerd: Send` for the sharded
+/// engine.
+pub struct BrokerStore {
+    subscribers: HashMap<Identity, SubscriberRecord>,
+    reputation: ReputationSystem,
+    sessions: HashMap<u64, Session>,
+    /// Lazy idle-expiry heap over session ids: one live entry per
+    /// session; popped entries whose session saw activity since are
+    /// re-pushed at the refreshed deadline.
+    expiry: EventQueue<u64>,
+    /// Nonces seen in authorized requests: a replayed `authReqT`
+    /// (captured on the wire and re-submitted, e.g. by a bTelco trying
+    /// to open ghost billing sessions) is rejected — the UE nonce in
+    /// `authVec` is the anti-replay anchor the paper describes (§4.1).
+    seen_nonces: HashSet<[u8; 16]>,
+    /// FIFO order of `seen_nonces` for bounded eviction.
+    nonce_order: VecDeque<[u8; 16]>,
+    next_session: u64,
+    next_alias: u64,
+    /// Sessions reclaimed after going idle past the retention window.
+    reclaimed: u64,
+    /// Settled bytes across all sessions, including reclaimed ones.
+    settled_dl_total: u64,
+    settled_ul_total: u64,
+    /// Last value this store pushed to the `sessions_live` gauge; the
+    /// gauge is updated by delta so it sums correctly across stores.
+    published_live: i64,
+}
+
+impl Default for BrokerStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BrokerStore {
+    /// A fresh store; session ids start at 1.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_session_base(1)
+    }
+
+    /// A fresh store whose session ids start at `base` — shards of a
+    /// broker plane carve the id space so sessions stay globally unique.
+    #[must_use]
+    pub fn with_session_base(base: u64) -> Self {
+        Self {
+            subscribers: HashMap::new(),
+            reputation: ReputationSystem::new(),
+            sessions: HashMap::new(),
+            expiry: EventQueue::new(),
+            seen_nonces: HashSet::new(),
+            nonce_order: VecDeque::new(),
+            next_session: base,
+            next_alias: 1,
+            reclaimed: 0,
+            settled_dl_total: 0,
+            settled_ul_total: 0,
+            published_live: 0,
+        }
+    }
+
+    /// A shareable handle for a replica pair.
+    #[must_use]
+    pub fn shared(base: u64) -> Arc<Mutex<BrokerStore>> {
+        Arc::new(Mutex::new(Self::with_session_base(base)))
+    }
+
+    /// Record a nonce; `false` means it was already in the window (a
+    /// replay). Past [`NONCE_WINDOW_CAP`] the oldest nonce is evicted.
+    fn insert_nonce(&mut self, nonce: [u8; 16]) -> bool {
+        if !self.seen_nonces.insert(nonce) {
+            return false;
+        }
+        self.nonce_order.push_back(nonce);
+        if self.nonce_order.len() > NONCE_WINDOW_CAP {
+            if let Some(oldest) = self.nonce_order.pop_front() {
+                self.seen_nonces.remove(&oldest);
+            }
+        }
+        true
+    }
+
+    /// Reclaim sessions idle past `retention`. Lazy-heap sweep: entries
+    /// pop in deadline order, and a session whose activity moved its
+    /// deadline forward is re-pushed instead of reclaimed, so the sweep
+    /// is deterministic (never iterates a `HashMap`) and O(due).
+    fn reclaim_idle(&mut self, now: SimTime, retention: SimDuration) {
+        let mut changed = false;
+        while let Some((_, sid)) = self.expiry.pop_due(now) {
+            let Some(session) = self.sessions.get(&sid) else {
+                continue;
+            };
+            let deadline = session.last_activity + retention;
+            if deadline <= now {
+                // Settled bytes were already folded into the totals at
+                // settlement time, so dropping the record loses nothing
+                // billable.
+                self.sessions.remove(&sid);
+                self.reclaimed += 1;
+                changed = true;
+            } else {
+                self.expiry.push(deadline, sid);
+            }
+        }
+        if changed {
+            self.publish_sessions_live();
+        }
+    }
+
+    fn publish_sessions_live(&mut self) {
+        let live = i64::try_from(self.sessions.len()).unwrap_or(i64::MAX);
+        telemetry::gauge("core.brokerd.sessions_live").add(live - self.published_live);
+        self.published_live = live;
+    }
+}
+
+fn lock_store(store: &Arc<Mutex<BrokerStore>>) -> MutexGuard<'_, BrokerStore> {
+    store.lock().expect("broker store poisoned")
+}
+
+/// Read access to a broker's reputation system, held behind the shared
+/// store lock. Derefs to [`ReputationSystem`].
+pub struct ReputationRef<'a>(MutexGuard<'a, BrokerStore>);
+
+impl std::ops::Deref for ReputationRef<'_> {
+    type Target = ReputationSystem;
+    fn deref(&self) -> &ReputationSystem {
+        &self.0.reputation
+    }
 }
 
 /// Broker configuration.
@@ -155,21 +314,21 @@ pub struct BrokerdConfig {
     pub proc_delay: SimDuration,
     /// Fig. 5 tolerance ratio ε.
     pub epsilon: f64,
+    /// Sessions with no traffic for this long are reclaimed from the
+    /// store (their settled bytes stay in the totals). Reclamation
+    /// piggybacks on packet arrivals — it schedules no wakeups of its
+    /// own, so a retention longer than the run leaves the event stream
+    /// untouched.
+    pub session_retention: SimDuration,
 }
 
-/// The broker service endpoint.
+/// The broker service endpoint: one *instance* (process) of a shard.
+/// Durable state lives in the shard's [`BrokerStore`]; everything here
+/// is per-process and dies on a crash.
 pub struct Brokerd {
     node: NodeId,
     cfg: BrokerdConfig,
-    subscribers: HashMap<Identity, SubscriberRecord>,
-    /// The reputation system gating admissions.
-    pub reputation: ReputationSystem,
-    sessions: HashMap<u64, Session>,
-    /// Nonces seen in authorized requests: a replayed `authReqT` (captured
-    /// on the wire and re-submitted, e.g. by a bTelco trying to open ghost
-    /// billing sessions) is rejected — the UE nonce in `authVec` is the
-    /// anti-replay anchor the paper describes (§4.1).
-    seen_nonces: HashSet<[u8; 16]>,
+    store: Arc<Mutex<BrokerStore>>,
     pending: EventQueue<Packet>,
     /// The service is single-threaded: requests queue behind this.
     busy_until: SimTime,
@@ -177,8 +336,6 @@ pub struct Brokerd {
     /// earlier are dropped (the sender's retry machinery must cover it).
     down_until: SimTime,
     rng: SimRng,
-    next_session: u64,
-    next_alias: u64,
     /// Accumulated processing time (Fig. 7 accounting).
     pub proc_time: SimDuration,
     /// Authorizations granted.
@@ -194,22 +351,29 @@ pub struct Brokerd {
 }
 
 impl Brokerd {
-    /// Create the broker service on `node`.
+    /// Create a standalone broker on `node` with a private store.
     #[must_use]
     pub fn new(node: NodeId, cfg: BrokerdConfig, rng: SimRng) -> Self {
+        Self::with_store(node, cfg, BrokerStore::shared(1), rng)
+    }
+
+    /// Create a broker instance over an existing (possibly shared)
+    /// store — how a plane builds the replicas of one shard.
+    #[must_use]
+    pub fn with_store(
+        node: NodeId,
+        cfg: BrokerdConfig,
+        store: Arc<Mutex<BrokerStore>>,
+        rng: SimRng,
+    ) -> Self {
         Self {
             node,
             cfg,
-            subscribers: HashMap::new(),
-            reputation: ReputationSystem::new(),
-            sessions: HashMap::new(),
-            seen_nonces: HashSet::new(),
+            store,
             pending: EventQueue::new(),
             busy_until: SimTime::ZERO,
             down_until: SimTime::ZERO,
             rng,
-            next_session: 1,
-            next_alias: 1,
             proc_time: SimDuration::ZERO,
             auth_ok: 0,
             auth_err: 0,
@@ -217,6 +381,12 @@ impl Brokerd {
             cycles_checked: 0,
             dropped_while_down: 0,
         }
+    }
+
+    /// A handle to this broker's (shared) durable store.
+    #[must_use]
+    pub fn store(&self) -> Arc<Mutex<BrokerStore>> {
+        Arc::clone(&self.store)
     }
 
     /// True while the broker is unreachable at `now`.
@@ -233,9 +403,10 @@ impl Brokerd {
         encrypt_pk: X25519PublicKey,
         plan_mbr_bps: u64,
     ) {
-        let alias = self.next_alias;
-        self.next_alias += 1;
-        self.subscribers.insert(
+        let mut store = lock_store(&self.store);
+        let alias = store.next_alias;
+        store.next_alias += 1;
+        store.subscribers.insert(
             id,
             SubscriberRecord {
                 sign_pk,
@@ -249,15 +420,42 @@ impl Brokerd {
     /// Number of provisioned subscribers.
     #[must_use]
     pub fn subscriber_count(&self) -> usize {
-        self.subscribers.len()
+        lock_store(&self.store).subscribers.len()
     }
 
     /// Billable (settled) downlink+uplink bytes for a session.
     #[must_use]
     pub fn settled_bytes(&self, session_id: u64) -> Option<(u64, u64)> {
-        self.sessions
+        lock_store(&self.store)
+            .sessions
             .get(&session_id)
             .map(|s| (s.settled_dl, s.settled_ul))
+    }
+
+    /// Settled bytes across all sessions, including reclaimed ones.
+    #[must_use]
+    pub fn settled_totals(&self) -> (u64, u64) {
+        let store = lock_store(&self.store);
+        (store.settled_dl_total, store.settled_ul_total)
+    }
+
+    /// Billing sessions currently held in the store.
+    #[must_use]
+    pub fn sessions_live(&self) -> usize {
+        lock_store(&self.store).sessions.len()
+    }
+
+    /// Sessions reclaimed after idling past the retention window.
+    #[must_use]
+    pub fn sessions_reclaimed(&self) -> u64 {
+        lock_store(&self.store).reclaimed
+    }
+
+    /// The reputation system gating admissions (read access; the guard
+    /// holds the store lock, so keep it short-lived).
+    #[must_use]
+    pub fn reputation(&self) -> ReputationRef<'_> {
+        ReputationRef(lock_store(&self.store))
     }
 
     /// Reset Fig. 7 accounting.
@@ -283,90 +481,93 @@ impl Brokerd {
             self.send_later(now, src, BrokerWire::AuthErr { req_id, code: 0 });
             return;
         };
-        let session_id = self.next_session;
-        let subscribers = &self.subscribers;
-        let reputation = &self.reputation;
-        let result = sap::broker_process(
-            &self.cfg.keys,
-            &self.cfg.ca,
-            &req,
-            |id| {
-                subscribers.get(&id).map(|rec| SubscriberEntry {
-                    sign_pk: rec.sign_pk,
-                    encrypt_pk: rec.encrypt_pk,
-                    plan_mbr_bps: rec.plan_mbr_bps,
-                    suspect: reputation.is_suspect(id),
-                    alias: rec.alias,
-                    lawful_intercept: false,
-                })
-            },
-            |telco| reputation.admit(telco),
-            session_id,
-            &mut self.rng,
-        );
-        match result {
-            Ok((reply, vec, _qos, _ss)) => {
-                // Replay protection: each authVec nonce authorizes once.
-                if !self.seen_nonces.insert(vec.nonce) {
-                    self.auth_err += 1;
-                    telemetry::counter("core.brokerd.auth_rejected").inc();
-                    self.send_later(
-                        now,
-                        src,
-                        BrokerWire::AuthErr {
-                            req_id,
-                            code: sap::SapError::NonceMismatch as u8,
-                        },
-                    );
-                    return;
+        // All durable-state work runs under one store lock; the reply is
+        // staged after the guard drops (`send_later` needs `&mut self`).
+        let outcome = {
+            let mut guard = lock_store(&self.store);
+            let store = &mut *guard;
+            let session_id = store.next_session;
+            let subscribers = &store.subscribers;
+            let reputation = &store.reputation;
+            let result = sap::broker_process(
+                &self.cfg.keys,
+                &self.cfg.ca,
+                &req,
+                |id| {
+                    subscribers.get(&id).map(|rec| SubscriberEntry {
+                        sign_pk: rec.sign_pk,
+                        encrypt_pk: rec.encrypt_pk,
+                        plan_mbr_bps: rec.plan_mbr_bps,
+                        suspect: reputation.is_suspect(id),
+                        alias: rec.alias,
+                        lawful_intercept: false,
+                    })
+                },
+                |telco| reputation.admit(telco),
+                session_id,
+                &mut self.rng,
+            );
+            match result {
+                Ok((reply, vec, _qos, _ss)) => {
+                    // Replay protection: each authVec nonce authorizes once.
+                    if store.insert_nonce(vec.nonce) {
+                        store.next_session += 1;
+                        store.sessions.insert(
+                            session_id,
+                            Session {
+                                user: vec.id_u,
+                                telco: vec.id_t,
+                                telco_sign_pk: req.t_cert.key,
+                                pending_ue: HashMap::new(),
+                                pending_telco: HashMap::new(),
+                                settled_dl: 0,
+                                settled_ul: 0,
+                                last_activity: now,
+                            },
+                        );
+                        store
+                            .expiry
+                            .push(now + self.cfg.session_retention, session_id);
+                        store.publish_sessions_live();
+                        Ok(reply.encode())
+                    } else {
+                        Err(sap::SapError::NonceMismatch as u8)
+                    }
                 }
-                self.next_session += 1;
+                Err(e) => Err(e as u8),
+            }
+        };
+        match outcome {
+            Ok(reply) => {
                 self.auth_ok += 1;
                 telemetry::counter("core.brokerd.auth_granted").inc();
                 telemetry::trace_instant("brokerd.auth_ok", "billing", now.as_nanos());
-                self.sessions.insert(
-                    session_id,
-                    Session {
-                        user: vec.id_u,
-                        telco: vec.id_t,
-                        telco_sign_pk: req.t_cert.key,
-                        pending_ue: HashMap::new(),
-                        pending_telco: HashMap::new(),
-                        settled_dl: 0,
-                        settled_ul: 0,
-                    },
-                );
-                self.send_later(
-                    now,
-                    src,
-                    BrokerWire::AuthOk {
-                        req_id,
-                        reply: reply.encode(),
-                    },
-                );
+                self.send_later(now, src, BrokerWire::AuthOk { req_id, reply });
             }
-            Err(e) => {
+            Err(code) => {
                 self.auth_err += 1;
                 telemetry::counter("core.brokerd.auth_rejected").inc();
-                self.send_later(
-                    now,
-                    src,
-                    BrokerWire::AuthErr {
-                        req_id,
-                        code: e as u8,
-                    },
-                );
+                self.send_later(now, src, BrokerWire::AuthErr { req_id, code });
             }
         }
     }
 
     /// The key a report for `session_id`/`from_ue` must verify under.
     fn reporter_pk(&self, session_id: u64, from_ue: bool) -> Option<VerifyingKey> {
-        let session = self.sessions.get(&session_id)?;
+        let store = lock_store(&self.store);
+        let session = store.sessions.get(&session_id)?;
         if from_ue {
-            self.subscribers.get(&session.user).map(|rec| rec.sign_pk)
+            store.subscribers.get(&session.user).map(|rec| rec.sign_pk)
         } else {
             Some(session.telco_sign_pk)
+        }
+    }
+
+    /// Refresh a session's idle-expiry clock (a report arrived for it).
+    fn touch_session(&mut self, session_id: u64, now: SimTime) {
+        let mut store = lock_store(&self.store);
+        if let Some(session) = store.sessions.get_mut(&session_id) {
+            session.last_activity = session.last_activity.max(now);
         }
     }
 
@@ -391,8 +592,9 @@ impl Brokerd {
         if from_ue {
             // A UE submitting unverifiable reports goes on the
             // suspect list (paper §4.3).
-            if let Some(session) = self.sessions.get(&session_id) {
-                self.reputation.mark_suspect(session.user);
+            let mut store = lock_store(&self.store);
+            if let Some(user) = store.sessions.get(&session_id).map(|s| s.user) {
+                store.reputation.mark_suspect(user);
             }
         }
     }
@@ -400,10 +602,13 @@ impl Brokerd {
     /// Book a report whose signature has already been checked (either
     /// individually or as part of an Ed25519 batch).
     fn accept_report(&mut self, session_id: u64, from_ue: bool, report: TrafficReport) {
-        let Some(session) = self.sessions.get_mut(&session_id) else {
+        let mut guard = lock_store(&self.store);
+        let store = &mut *guard;
+        let Some(session) = store.sessions.get_mut(&session_id) else {
             return;
         };
         if report.session_id != session_id {
+            drop(guard);
             self.bad_reports += 1;
             telemetry::counter("core.billing.claims_rejected").inc();
             return;
@@ -421,25 +626,28 @@ impl Brokerd {
             session.pending_telco.get(&seq),
         ) {
             let verdict = verify_cycle(ue_r, t_r, self.cfg.epsilon);
-            match verdict {
+            let (dl, ul) = match verdict {
                 CycleVerdict::Consistent => {
                     telemetry::counter("core.billing.claims_verified").inc();
-                    session.settled_dl += t_r.dl_bytes;
-                    session.settled_ul += t_r.ul_bytes;
+                    (t_r.dl_bytes, t_r.ul_bytes)
                 }
                 CycleVerdict::Mismatch { .. } => {
                     telemetry::counter("core.billing.claims_mismatched").inc();
                     // Settle conservatively at the UE's figure; the
                     // mismatch feeds the telco's reputation.
-                    session.settled_dl += ue_r.dl_bytes;
-                    session.settled_ul += ue_r.ul_bytes;
+                    (ue_r.dl_bytes, ue_r.ul_bytes)
                 }
-            }
+            };
+            session.settled_dl += dl;
+            session.settled_ul += ul;
             let telco = session.telco;
             session.pending_ue.remove(&seq);
             session.pending_telco.remove(&seq);
+            store.settled_dl_total += dl;
+            store.settled_ul_total += ul;
+            store.reputation.record_cycle(telco, verdict);
+            drop(guard);
             self.cycles_checked += 1;
-            self.reputation.record_cycle(telco, verdict);
         }
     }
 
@@ -510,6 +718,12 @@ impl Endpoint for Brokerd {
         if pkt.dst != self.cfg.ip {
             return;
         }
+        // Idle-session reclamation piggybacks on arrivals: it schedules
+        // no wakeups of its own, so the event stream is unchanged.
+        {
+            let retention = self.cfg.session_retention;
+            lock_store(&self.store).reclaim_idle(now, retention);
+        }
         match BrokerWire::decode(bytes) {
             Some(BrokerWire::AuthReq { req_id, req_t }) => {
                 self.handle_auth(now, pkt.src, req_id, &req_t);
@@ -519,6 +733,7 @@ impl Endpoint for Brokerd {
                 from_ue,
                 sealed,
             }) => {
+                self.touch_session(session_id, now);
                 self.handle_report(session_id, from_ue, &sealed);
             }
             _ => {}
@@ -566,6 +781,17 @@ mod tests {
     use cellbricks_crypto::cert::CertificateAuthority;
     use cellbricks_net::Endpoint;
 
+    fn test_config(keys: BrokerKeys, ca: &CertificateAuthority) -> BrokerdConfig {
+        BrokerdConfig {
+            ip: Ipv4Addr::new(172, 16, 0, 1),
+            keys,
+            ca: ca.public_key(),
+            proc_delay: SimDuration::ZERO,
+            epsilon: 0.01,
+            session_retention: SimDuration::from_secs(86_400),
+        }
+    }
+
     #[test]
     fn replayed_auth_request_rejected() {
         let mut rng = SimRng::new(3);
@@ -575,13 +801,7 @@ mod tests {
         let ue_keys = UeKeys::generate(&mut rng);
         let mut brokerd = Brokerd::new(
             cellbricks_net::NodeId(0),
-            BrokerdConfig {
-                ip: Ipv4Addr::new(172, 16, 0, 1),
-                keys: broker_keys.clone(),
-                ca: ca.public_key(),
-                proc_delay: SimDuration::ZERO,
-                epsilon: 0.01,
-            },
+            test_config(broker_keys.clone(), &ca),
             rng.fork(),
         );
         let (spk, epk) = ue_keys.public();
@@ -622,8 +842,47 @@ mod tests {
         assert_eq!(brokerd.auth_err, 1);
     }
 
+    /// Satellite regression: the anti-replay window is bounded (FIFO
+    /// eviction past the cap) while replays inside the window are still
+    /// rejected.
+    #[test]
+    fn nonce_window_bounded_with_fifo_eviction() {
+        let mut store = BrokerStore::new();
+        let nonce_of = |i: u64| -> [u8; 16] {
+            let mut n = [0u8; 16];
+            n[..8].copy_from_slice(&i.to_le_bytes());
+            n
+        };
+        for i in 0..(NONCE_WINDOW_CAP as u64 + 1_000) {
+            assert!(store.insert_nonce(nonce_of(i)), "fresh nonce {i} accepted");
+        }
+        assert_eq!(
+            store.seen_nonces.len(),
+            NONCE_WINDOW_CAP,
+            "window bounded at the cap"
+        );
+        assert_eq!(store.nonce_order.len(), NONCE_WINDOW_CAP);
+        // A replay inside the window is still caught...
+        let recent = nonce_of(NONCE_WINDOW_CAP as u64 + 999);
+        assert!(!store.insert_nonce(recent), "recent replay rejected");
+        // ...while the oldest entries were evicted (the replay horizon
+        // the cap trades away).
+        assert!(!store.seen_nonces.contains(&nonce_of(0)));
+        assert!(!store.seen_nonces.contains(&nonce_of(999)));
+        assert!(store.seen_nonces.contains(&nonce_of(1_000)));
+    }
+
     /// A world with one UE attached (session id 1), for report tests.
     fn attached_world() -> (Brokerd, UeKeys, TelcoKeys, BrokerKeys, SimRng) {
+        attached_world_with_retention(SimDuration::from_secs(86_400))
+    }
+
+    /// Same, with the session-retention window chosen up front (the
+    /// expiry deadline is armed at auth time, so it must be set before
+    /// the attach).
+    fn attached_world_with_retention(
+        retention: SimDuration,
+    ) -> (Brokerd, UeKeys, TelcoKeys, BrokerKeys, SimRng) {
         let mut rng = SimRng::new(7);
         let ca = CertificateAuthority::from_seed([0xCA; 32]);
         let broker_keys = BrokerKeys::generate("broker.example", &ca, &mut rng);
@@ -632,11 +891,8 @@ mod tests {
         let mut brokerd = Brokerd::new(
             cellbricks_net::NodeId(0),
             BrokerdConfig {
-                ip: Ipv4Addr::new(172, 16, 0, 1),
-                keys: broker_keys.clone(),
-                ca: ca.public_key(),
-                proc_delay: SimDuration::ZERO,
-                epsilon: 0.01,
+                session_retention: retention,
+                ..test_config(broker_keys.clone(), &ca)
             },
             rng.fork(),
         );
@@ -718,7 +974,7 @@ mod tests {
         assert_eq!(brokerd.bad_reports, 1, "forged report must be rejected");
         assert_eq!(brokerd.cycles_checked, 0, "no cycle without the UE side");
         assert!(
-            brokerd.reputation.is_suspect(ue_keys.identity()),
+            brokerd.reputation().is_suspect(ue_keys.identity()),
             "unverifiable UE report marks the subscriber suspect"
         );
     }
@@ -733,6 +989,111 @@ mod tests {
         brokerd.ingest_reports(&[(99, true, sealed)]);
         assert_eq!(brokerd.bad_reports, 1);
         assert_eq!(brokerd.cycles_checked, 0);
+    }
+
+    /// Satellite regression: a settled session is reclaimed after the
+    /// retention window, its bytes survive in the totals, and the live
+    /// count drops.
+    #[test]
+    fn idle_session_reclaimed_after_retention() {
+        let (mut brokerd, ue_keys, telco_keys, broker_keys, mut rng) =
+            attached_world_with_retention(SimDuration::from_secs(5));
+        let broker_pk = broker_keys.encrypt.public_key();
+        let ue_sealed = report(1_000).sign_and_seal(&ue_keys.sign, &broker_pk, &mut rng);
+        let t_sealed = report(1_000).sign_and_seal(&telco_keys.sign, &broker_pk, &mut rng);
+        brokerd.ingest_reports(&[(1, true, ue_sealed), (1, false, t_sealed)]);
+        assert_eq!(brokerd.sessions_live(), 1);
+        assert_eq!(brokerd.settled_totals(), (1_000, 10));
+        // Any packet arrival past the idle deadline triggers the sweep;
+        // an undecodable control frame is activity enough.
+        let mut sink = Vec::new();
+        brokerd.handle_packet(
+            SimTime::from_secs(60),
+            Packet::control(
+                Ipv4Addr::new(172, 16, 1, 1),
+                Ipv4Addr::new(172, 16, 0, 1),
+                Bytes::from_static(&[0xFF]),
+            ),
+            &mut sink,
+        );
+        assert_eq!(brokerd.sessions_live(), 0, "idle session reclaimed");
+        assert_eq!(brokerd.sessions_reclaimed(), 1);
+        assert_eq!(brokerd.settled_bytes(1), None);
+        assert_eq!(
+            brokerd.settled_totals(),
+            (1_000, 10),
+            "settled bytes survive reclamation"
+        );
+    }
+
+    /// Replicas sharing a store resolve each other's sessions and
+    /// nonces: the failover contract of the broker plane.
+    #[test]
+    fn shared_store_replicates_sessions_and_nonces() {
+        let (brokerd, ue_keys, telco_keys, broker_keys, mut rng) = attached_world();
+        let ca = CertificateAuthority::from_seed([0xCA; 32]);
+        let mut standby = Brokerd::with_store(
+            cellbricks_net::NodeId(1),
+            BrokerdConfig {
+                ip: Ipv4Addr::new(172, 16, 0, 2),
+                ..test_config(broker_keys.clone(), &ca)
+            },
+            brokerd.store(),
+            rng.fork(),
+        );
+        // The session authorized on the primary is visible to the standby.
+        assert_eq!(standby.settled_bytes(1), Some((0, 0)));
+        assert_eq!(standby.subscriber_count(), 1);
+        // A report sent to the standby settles against it.
+        let broker_pk = broker_keys.encrypt.public_key();
+        let ue_sealed = report(2_000).sign_and_seal(&ue_keys.sign, &broker_pk, &mut rng);
+        let t_sealed = report(2_000).sign_and_seal(&telco_keys.sign, &broker_pk, &mut rng);
+        standby.ingest_reports(&[(1, true, ue_sealed), (1, false, t_sealed)]);
+        assert_eq!(brokerd.settled_bytes(1), Some((2_000, 10)));
+        // A replay of an authorization the primary already granted is
+        // rejected by the standby too.
+        let (req_u, _) = sap::ue_build_request(
+            &ue_keys,
+            "broker.example",
+            &broker_keys.encrypt.public_key(),
+            telco_keys.identity(),
+            &mut rng,
+        );
+        let req_t = sap::telco_wrap_request(
+            &telco_keys,
+            req_u,
+            QosCap {
+                max_mbr_bps: 1_000_000,
+                qci_supported: vec![9],
+                li_capable: true,
+            },
+        );
+        let wire = BrokerWire::AuthReq {
+            req_id: 9,
+            req_t: req_t.encode(),
+        }
+        .encode();
+        let mut sink = Vec::new();
+        standby.handle_packet(
+            SimTime::ZERO,
+            Packet::control(
+                Ipv4Addr::new(172, 16, 1, 1),
+                Ipv4Addr::new(172, 16, 0, 2),
+                wire.clone(),
+            ),
+            &mut sink,
+        );
+        assert_eq!(standby.auth_ok, 1, "fresh request authorized on standby");
+        standby.handle_packet(
+            SimTime::ZERO,
+            Packet::control(
+                Ipv4Addr::new(172, 16, 1, 1),
+                Ipv4Addr::new(172, 16, 0, 2),
+                wire,
+            ),
+            &mut sink,
+        );
+        assert_eq!(standby.auth_err, 1, "replay rejected via the shared window");
     }
 
     #[test]

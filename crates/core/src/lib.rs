@@ -28,6 +28,7 @@
 
 pub mod attach_bench;
 pub mod billing;
+pub mod broker_plane;
 pub mod brokerd;
 pub mod btelco;
 pub mod principal;
@@ -36,6 +37,7 @@ pub mod sap;
 pub mod ue;
 
 pub use billing::{BasebandMeter, TrafficReport};
+pub use broker_plane::{BrokerPlane, BrokerPlaneConfig, BrokerRing, ReplicaSite};
 pub use brokerd::{Brokerd, BrokerdConfig};
 pub use btelco::{BTelcoGateway, BTelcoGatewayConfig};
 pub use principal::{BrokerKeys, Identity, TelcoKeys, UeKeys};

@@ -21,6 +21,33 @@ use cellbricks_telemetry as telemetry;
 use cellbricks_transport::Host;
 use std::net::Ipv4Addr;
 
+/// One reachable replica of the UE's home broker shard, provisioned on
+/// the SIM alongside the pinned broker keys (the whole plane signs as
+/// one operator, so the pinned keys verify against any replica).
+#[derive(Clone, Debug)]
+pub struct BrokerReplica {
+    /// Directory name the bTelco resolves to a broker contact.
+    pub name: String,
+    /// Where this replica ingests UE traffic reports.
+    pub ctrl_ip: Ipv4Addr,
+    /// Static latency estimate to this replica, derived from topology —
+    /// the paper's broker selection is latency-aware without GeoIP.
+    pub rtt: SimDuration,
+}
+
+/// The UE's view of a distributed broker plane: the replicas of its
+/// home shard (consistent hashing over the UE identity pins the shard;
+/// only the UE knows its identity, so only the UE can compute it).
+#[derive(Clone, Debug)]
+pub struct UePlaneConfig {
+    /// Home-shard replicas; selection is lowest-RTT first.
+    pub replicas: Vec<BrokerReplica>,
+    /// How long a replica that timed out an attach attempt is avoided —
+    /// the deterministic failover window onto the next-lowest-RTT
+    /// replica.
+    pub penalty: SimDuration,
+}
+
 /// UE device configuration.
 #[derive(Clone)]
 pub struct UeDeviceConfig {
@@ -49,6 +76,10 @@ pub struct UeDeviceConfig {
     pub attach_max_tries: u32,
     /// Recovery behaviour under faults (backoff shape, watchdog).
     pub recovery: RecoveryConfig,
+    /// Distributed broker plane, if the operator runs one. `None` keeps
+    /// the single-broker path bit-for-bit identical: requests carry
+    /// `broker_name` and reports go to `broker_ctrl_ip`.
+    pub plane: Option<UePlaneConfig>,
 }
 
 /// How the UE recovers from lost signalling and dead gateways.
@@ -93,6 +124,9 @@ struct PendingAttach {
     retries_left: u32,
     /// Requests already issued for this attach (backoff exponent).
     attempt: u32,
+    /// Which plane replica the outstanding request targets (0 when no
+    /// plane is configured) — a timeout penalizes exactly this one.
+    replica: usize,
 }
 
 struct Serving {
@@ -137,6 +171,9 @@ pub struct UeDevice {
     attach: Option<PendingAttach>,
     serving: Option<Serving>,
     meter: Option<BasebandMeter>,
+    /// Per-replica quarantine deadlines (parallel to `plane.replicas`;
+    /// empty when no plane is configured).
+    replica_penalty: Vec<SimTime>,
     /// The last attach target, for watchdog-driven re-attach.
     last_target: Option<(String, Ipv4Addr)>,
     /// When the watchdog declared the serving telco dead (recovery-latency
@@ -157,6 +194,11 @@ pub struct UeDevice {
     pub attach_retries: u64,
     /// Times the inactivity watchdog forced a re-attach.
     pub watchdog_reattaches: u64,
+    /// Accepts that failed verification against the current attempt —
+    /// stale replies (e.g. flushed out of a broker outage after the UE
+    /// already retried with a fresh nonce) or forgeries. Ignored, never
+    /// fatal: the retry deadline provides liveness.
+    pub stale_accepts: u64,
     // --- Cold: construction-time configuration, boxed off the hot path ---
     cfg: Box<UeDeviceConfig>,
 }
@@ -174,6 +216,7 @@ impl UeDevice {
             attach: None,
             serving: None,
             meter: None,
+            replica_penalty: Vec::new(),
             pending: EventQueue::new(),
             deferred: EventQueue::new(),
             next_report_at: None,
@@ -189,7 +232,44 @@ impl UeDevice {
             recovering_since: None,
             reattach_at: None,
             watchdog_reattaches: 0,
+            stale_accepts: 0,
         }
+    }
+
+    /// The plane replica the UE currently prefers: lowest RTT among the
+    /// replicas not under a timeout penalty at `now`, ties broken by
+    /// index. If every replica is penalized the outright lowest-RTT one
+    /// is used — retrying a suspect replica costs one window; idling
+    /// costs the attach. `None` without a plane.
+    fn select_replica(&self, now: SimTime) -> Option<usize> {
+        let plane = self.cfg.plane.as_ref()?;
+        let penalized = |i: usize| {
+            self.replica_penalty
+                .get(i)
+                .is_some_and(|&until| now < until)
+        };
+        (0..plane.replicas.len())
+            .filter(|&i| !penalized(i))
+            .min_by_key(|&i| (plane.replicas[i].rtt, i))
+            .or_else(|| (0..plane.replicas.len()).min_by_key(|&i| (plane.replicas[i].rtt, i)))
+    }
+
+    /// Quarantine the replica targeted by the outstanding attach request
+    /// (its answer never came): the next issue re-selects, which is the
+    /// whole failover state machine on the UE side.
+    fn penalize_pending_replica(&mut self, now: SimTime) {
+        let Some(plane) = self.cfg.plane.as_ref() else {
+            return;
+        };
+        let Some(idx) = self.attach.as_ref().map(|p| p.replica) else {
+            return;
+        };
+        if self.replica_penalty.len() < plane.replicas.len() {
+            self.replica_penalty
+                .resize(plane.replicas.len(), SimTime::ZERO);
+        }
+        self.replica_penalty[idx] = now + plane.penalty;
+        telemetry::counter("core.ue.replica_penalized").inc();
     }
 
     /// The current serving bTelco, if attached.
@@ -236,6 +316,7 @@ impl UeDevice {
             started: now,
             retries_left: self.cfg.attach_max_tries.saturating_sub(1),
             attempt: 0,
+            replica: 0, // Filled by issue_attach_request.
         });
         self.issue_attach_request(now);
     }
@@ -262,8 +343,19 @@ impl UeDevice {
             return;
         };
         let window = self.retry_delay(attempt);
+        // With a plane, the request is addressed to the preferred
+        // home-shard replica by directory name; the SAP payload still
+        // names the SIM-pinned operator, which every replica signs as.
+        let (broker_id, replica) = match self.cfg.plane.as_ref() {
+            Some(plane) => {
+                let i = self.select_replica(now).expect("plane has replicas");
+                (plane.replicas[i].name.clone(), i)
+            }
+            None => (self.cfg.broker_name.clone(), 0),
+        };
         let pending = self.attach.as_mut().expect("checked above");
         pending.attempt += 1;
+        pending.replica = replica;
         let (req, nonce) = sap::ue_build_request(
             &self.cfg.keys,
             &self.cfg.broker_name,
@@ -275,7 +367,7 @@ impl UeDevice {
         let agw_sig = pending.agw_sig;
         let msg = NasMessage::SapAttachRequest {
             ue_sig: self.cfg.ue_sig,
-            broker_id: self.cfg.broker_name.clone(),
+            broker_id,
             payload: Bytes::from(req.encode().to_vec()),
         };
         self.proc_time = self.proc_time + self.cfg.proc_delay;
@@ -321,6 +413,12 @@ impl UeDevice {
     }
 
     fn emit_report(&mut self, now: SimTime) {
+        // Reports follow the same replica preference as attach requests;
+        // either replica of the home shard resolves the session.
+        let ctrl_ip = match (self.cfg.plane.as_ref(), self.select_replica(now)) {
+            (Some(plane), Some(i)) => plane.replicas[i].ctrl_ip,
+            _ => self.cfg.broker_ctrl_ip,
+        };
         let Some(meter) = &mut self.meter else { return };
         let session_id = meter.session_id();
         let sealed = meter.emit_report(now, &mut self.rng);
@@ -329,18 +427,23 @@ impl UeDevice {
             from_ue: true,
             sealed,
         };
-        self.pending.push(
-            now,
-            Packet::control(self.cfg.ue_sig, self.cfg.broker_ctrl_ip, msg.encode()),
-        );
+        self.pending
+            .push(now, Packet::control(self.cfg.ue_sig, ctrl_ip, msg.encode()));
     }
 
     fn on_accept_verified(&mut self, now: SimTime, ue_ip: Ipv4Addr, payload: &[u8]) {
-        let Some(pending) = self.attach.take() else {
+        let Some(pending) = self.attach.as_ref() else {
             return;
         };
+        // An accept that fails to decode or verify against the *current*
+        // attempt is stale — typically the reply to a superseded request
+        // flushed out of a broker outage after the UE already retried
+        // with a fresh nonce — or forged. Either way it must not destroy
+        // the in-flight attach: ignore it and let the retry machinery
+        // (which the genuine reply can still beat) provide liveness.
         let Some(resp) = SignedSealed::decode(payload) else {
-            self.failures += 1;
+            self.stale_accepts += 1;
+            telemetry::counter("core.ue.stale_accepts").inc();
             return;
         };
         match sap::ue_verify_response(
@@ -351,6 +454,7 @@ impl UeDevice {
             &resp,
         ) {
             Ok(body) => {
+                let pending = self.attach.take().expect("checked above");
                 self.attach_deadline = None;
                 self.reattach_at = None;
                 self.last_dl_at = now;
@@ -388,7 +492,8 @@ impl UeDevice {
                 self.host.assign_addr(now, ue_ip);
             }
             Err(_) => {
-                self.failures += 1;
+                self.stale_accepts += 1;
+                telemetry::counter("core.ue.stale_accepts").inc();
             }
         }
     }
@@ -489,6 +594,10 @@ impl Endpoint for UeDevice {
         // Attach retry: the request or its answer was lost.
         if let Some(deadline) = self.attach_deadline {
             if now >= deadline {
+                // The outstanding request's replica never answered:
+                // quarantine it so the re-issue (or the later fresh
+                // cycle) fails over to the next-lowest-RTT replica.
+                self.penalize_pending_replica(now);
                 match self.attach.as_mut() {
                     Some(p) if p.retries_left > 0 => {
                         p.retries_left -= 1;

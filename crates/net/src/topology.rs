@@ -199,6 +199,45 @@ impl Topology {
         l.ab.config.latency.min(l.ba.config.latency)
     }
 
+    /// One-way propagation latency of the cheapest path `from → to`,
+    /// summing each hop's directional latency floor (no queueing, no
+    /// jitter). Dijkstra over the static link set — deterministic, and
+    /// independent of route tables, so harnesses can derive the RTT
+    /// estimates a UE's SIM carries for broker-replica selection without
+    /// simulating probes.
+    #[must_use]
+    pub fn path_latency(&self, from: NodeId, to: NodeId) -> Option<cellbricks_sim::SimDuration> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut best: Vec<Option<cellbricks_sim::SimDuration>> = vec![None; self.nodes.len()];
+        let mut heap = BinaryHeap::new();
+        best[from.0] = Some(cellbricks_sim::SimDuration::ZERO);
+        heap.push(Reverse((cellbricks_sim::SimDuration::ZERO, from.0)));
+        while let Some(Reverse((dist, n))) = heap.pop() {
+            if best[n].is_some_and(|b| dist > b) {
+                continue;
+            }
+            if n == to.0 {
+                return Some(dist);
+            }
+            for l in &self.links {
+                let (next, hop) = if l.a.0 == n {
+                    (l.b.0, l.ab.config.latency)
+                } else if l.b.0 == n {
+                    (l.a.0, l.ba.config.latency)
+                } else {
+                    continue;
+                };
+                let cand = dist + hop;
+                if best[next].is_none_or(|b| cand < b) {
+                    best[next] = Some(cand);
+                    heap.push(Reverse((cand, next)));
+                }
+            }
+        }
+        best[to.0]
+    }
+
     /// Clone the topology for one shard: every node and link is present
     /// (so `LinkId`/`NodeId` stay globally valid), but route tables are
     /// kept only for nodes the shard owns — packets are only ever routed

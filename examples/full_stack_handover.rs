@@ -76,8 +76,8 @@ fn main() {
     let telco_id = w.ue.serving_telco().unwrap();
     println!(
         "         serving bTelco reputation: {:.2} (mismatches: {})",
-        w.brokerd.reputation.score(telco_id),
-        w.brokerd.reputation.mismatches(telco_id)
+        w.brokerd.reputation().score(telco_id),
+        w.brokerd.reputation().mismatches(telco_id)
     );
     if let Some(session) = w.ue.session_id() {
         if let Some((dl, ul)) = w.brokerd.settled_bytes(session) {

@@ -36,9 +36,9 @@ fn honest_btelco_keeps_admission() {
     // "Small discrepancies are expected and tolerated" (§4.3): radio-queue
     // loss during slow start can flag an occasional cycle; the weighted
     // score must stay high and the bTelco admitted.
-    assert!(w.brokerd.reputation.mismatches(telco) <= 1);
-    assert!(w.brokerd.reputation.score(telco) > 0.9);
-    assert!(w.brokerd.reputation.admit(telco));
+    assert!(w.brokerd.reputation().mismatches(telco) <= 1);
+    assert!(w.brokerd.reputation().score(telco) > 0.9);
+    assert!(w.brokerd.reputation().admit(telco));
 }
 
 #[test]
@@ -47,14 +47,14 @@ fn inflating_btelco_loses_admission() {
     w.run_to(SimTime::from_secs(33));
     let telco = w.ue.serving_telco().unwrap();
     assert!(
-        w.brokerd.reputation.mismatches(telco) >= 3,
+        w.brokerd.reputation().mismatches(telco) >= 3,
         "mismatches {}",
-        w.brokerd.reputation.mismatches(telco)
+        w.brokerd.reputation().mismatches(telco)
     );
     assert!(
-        !w.brokerd.reputation.admit(telco),
+        !w.brokerd.reputation().admit(telco),
         "score {}",
-        w.brokerd.reputation.score(telco)
+        w.brokerd.reputation().score(telco)
     );
 }
 
@@ -62,7 +62,7 @@ fn inflating_btelco_loses_admission() {
 fn refused_btelco_cannot_authorize_new_sessions() {
     let mut w = world_with_traffic(12, 1.6);
     w.run_to(SimTime::from_secs(33));
-    assert!(!w.brokerd.reputation.admit(w.ue.serving_telco().unwrap()));
+    assert!(!w.brokerd.reputation().admit(w.ue.serving_telco().unwrap()));
     // A fresh attach through the cheater is now refused by the broker.
     w.ue.detach(w.cursor);
     w.run_to(SimTime::from_secs(34));
@@ -113,7 +113,7 @@ fn forged_ue_report_marks_user_suspect() {
     // The paper's §4.3: unverifiable UE reports put the user on the
     // suspect list, and suspect users are refused service.
     let user = w.ue_identity();
-    assert!(w.brokerd.reputation.is_suspect(user));
+    assert!(w.brokerd.reputation().is_suspect(user));
 }
 
 #[test]
@@ -125,14 +125,14 @@ fn under_reporting_btelco_loses_admission() {
     w.run_to(SimTime::from_secs(33));
     let telco = w.ue.serving_telco().unwrap();
     assert!(
-        w.brokerd.reputation.mismatches(telco) >= 3,
+        w.brokerd.reputation().mismatches(telco) >= 3,
         "mismatches {}",
-        w.brokerd.reputation.mismatches(telco)
+        w.brokerd.reputation().mismatches(telco)
     );
     assert!(
-        !w.brokerd.reputation.admit(telco),
+        !w.brokerd.reputation().admit(telco),
         "under-reporting telco must lose admission; score {}",
-        w.brokerd.reputation.score(telco)
+        w.brokerd.reputation().score(telco)
     );
 }
 
@@ -146,9 +146,9 @@ fn zero_reporting_btelco_detected() {
     let telco = w.ue.serving_telco().unwrap();
     assert!(w.brokerd.cycles_checked >= 3);
     assert!(
-        w.brokerd.reputation.mismatches(telco) >= 3,
+        w.brokerd.reputation().mismatches(telco) >= 3,
         "mismatches {}",
-        w.brokerd.reputation.mismatches(telco)
+        w.brokerd.reputation().mismatches(telco)
     );
     let session = w.ue.session_id().unwrap();
     let (settled_dl, _) = w.brokerd.settled_bytes(session).unwrap();
@@ -156,7 +156,7 @@ fn zero_reporting_btelco_detected() {
         settled_dl > 100_000,
         "settlement must fall back to the UE figure, got {settled_dl}"
     );
-    assert!(!w.brokerd.reputation.admit(telco));
+    assert!(!w.brokerd.reputation().admit(telco));
 }
 
 mod verify_cycle_symmetry {

@@ -163,6 +163,74 @@ fn broker_outage_delays_but_not_denies_attach() {
     assert!(w.ue.host.mp(conn).data_received() > 100_000);
 }
 
+/// Pins the `busy_until`/`pending` ↔ `Unavailable` semantics (ISSUE 8
+/// satellite): a request that *arrived* before the outage may have its
+/// reply staged inside the window, but nothing leaves the broker until
+/// recovery — and the late reply, whose nonce belongs to an attempt the
+/// UE has already given up on, must be discarded as stale rather than
+/// destroying the in-flight retry.
+///
+/// The timing is cut deliberately fine. The SAP request reaches the
+/// broker at ≈24.5 ms (UE proc 3 + radio 8 + eNB 0.5 + back 2 + AGW
+/// proc 2 + core 5 + cloud 4) and the reply is staged for ≈26.5 ms
+/// (proc 2 ms); the outage window [25 ms, 3 s) opens between the two.
+#[test]
+fn reply_staged_before_outage_flushes_at_recovery_as_stale() {
+    let mut w = CellBricksWorld::build_chaos(26);
+    let mut plan = FaultPlan::new();
+    plan.unavailable(
+        w.broker_node,
+        SimTime::from_millis(25),
+        SimDuration::from_millis(2_975),
+    );
+    w.driver.set_fault_plan(plan);
+    w.ue.start_attach(SimTime::ZERO, TELCO1, AGW1_SIG);
+
+    // Precondition for the scenario: the broker authorized the request
+    // before going dark, so the reply is sitting in its egress queue.
+    w.run_to(SimTime::from_millis(25));
+    assert_eq!(w.brokerd.auth_ok, 1, "request processed before outage");
+    assert_eq!(
+        w.world.link_stats(w.cloud).ba_delivered,
+        0,
+        "reply not yet on the wire"
+    );
+
+    // Deep inside the window: the staged reply must NOT have been
+    // emitted (broker→internet stays silent), and the ~2 s retry that
+    // landed mid-outage must have been dropped, not queued.
+    w.run_to(SimTime::from_millis(2_900));
+    assert_eq!(
+        w.world.link_stats(w.cloud).ba_delivered,
+        0,
+        "nothing leaves the broker mid-outage"
+    );
+    assert!(w.ue.attach_retries >= 1, "retry fired during the window");
+    assert!(
+        w.brokerd.dropped_while_down >= 1,
+        "mid-outage request dropped"
+    );
+
+    // Recovery: the stale reply flushes, fails nonce verification
+    // against the newer in-flight attempt, and is counted — without
+    // killing the pending attach or booking a failure.
+    w.run_to(SECS(4));
+    assert!(
+        w.world.link_stats(w.cloud).ba_delivered >= 1,
+        "staged reply flushed at recovery"
+    );
+    assert_eq!(w.ue.stale_accepts, 1, "late reply discarded as stale");
+    assert_eq!(w.ue.failures, 0, "stale reply must not book a failure");
+
+    // The retry machinery, still alive, converges on the next attempt
+    // (checked at 7 s, before the idle watchdog re-attaches on its own).
+    w.run_to(SECS(7));
+    assert!(w.ue.is_attached(), "attach survived the stale reply");
+    assert_eq!(w.ue.attaches, 1);
+    assert_eq!(w.ue.failures, 0);
+    assert_eq!(w.brokerd.auth_ok, 2, "one pre-outage auth, one converging");
+}
+
 #[test]
 fn mptcp_fails_over_under_scripted_flaps() {
     let (mut w, conn) = chaos_world_with_traffic(25);
@@ -224,6 +292,7 @@ fn attach_request_times(recovery: RecoveryConfig, max_tries: u32) -> Vec<SimTime
             attach_retry_after: SimDuration::from_secs(2),
             attach_max_tries: max_tries,
             recovery,
+            plane: None,
         },
         rng.fork(),
     );
@@ -334,6 +403,7 @@ fn detach_during_pending_attach_clears_retry_state() {
             attach_retry_after: SimDuration::from_secs(2),
             attach_max_tries: 5,
             recovery: RecoveryConfig::default(),
+            plane: None,
         },
         rng.fork(),
     );

@@ -41,6 +41,7 @@ pub struct CellBricksWorld {
     pub server: Host,
     pub radio1: LinkId,
     pub radio2: LinkId,
+    pub cloud: LinkId,
     pub ue_node: NodeId,
     pub agw1_node: NodeId,
     pub agw2_node: NodeId,
@@ -141,6 +142,7 @@ impl CellBricksWorld {
                 // slow-start overshoot dropped at the radio queue shows up
                 // as UE-vs-bTelco discrepancy; 5% covers it.
                 epsilon: 0.05,
+                session_retention: SimDuration::from_secs(86_400),
             },
             rng.fork(),
         );
@@ -197,6 +199,7 @@ impl CellBricksWorld {
                 attach_retry_after: SimDuration::from_secs(2),
                 attach_max_tries: 3,
                 recovery: RecoveryConfig::default(),
+                plane: None,
             },
             rng.fork(),
         );
@@ -214,6 +217,7 @@ impl CellBricksWorld {
             server: Host::new(server_node, Some(SERVER_IP)),
             radio1,
             radio2,
+            cloud,
             ue_node,
             agw1_node,
             agw2_node,

@@ -83,6 +83,7 @@ fn one_btelco_serves_two_brokers() {
                 ca: ca.public_key(),
                 proc_delay: ms(2),
                 epsilon: 0.05,
+                session_retention: SimDuration::from_secs(86_400),
             },
             rng.fork(),
         )
@@ -144,6 +145,7 @@ fn one_btelco_serves_two_brokers() {
                     attach_retry_after: SimDuration::from_secs(2),
                     attach_max_tries: 3,
                     recovery: cellbricks::core::ue::RecoveryConfig::default(),
+                    plane: None,
                 },
                 rng.fork(),
             )
@@ -287,6 +289,7 @@ fn dual_stack_ue_roams_from_legacy_mno_to_btelco() {
             ca: ca.public_key(),
             proc_delay: ms(2),
             epsilon: 0.05,
+            session_retention: SimDuration::from_secs(86_400),
         },
         rng.fork(),
     );
@@ -344,6 +347,7 @@ fn dual_stack_ue_roams_from_legacy_mno_to_btelco() {
                 attach_retry_after: SimDuration::from_secs(2),
                 attach_max_tries: 3,
                 recovery: cellbricks::core::ue::RecoveryConfig::default(),
+                plane: None,
             },
             rng.fork(),
         ),

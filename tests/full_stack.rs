@@ -125,8 +125,8 @@ fn billing_reports_cross_check_at_broker() {
     assert_eq!(w.brokerd.bad_reports, 0);
     // An honest bTelco keeps a perfect score and stays admitted.
     let telco_id = w.ue.serving_telco().unwrap();
-    assert_eq!(w.brokerd.reputation.mismatches(telco_id), 0);
-    assert!(w.brokerd.reputation.admit(telco_id));
+    assert_eq!(w.brokerd.reputation().mismatches(telco_id), 0);
+    assert!(w.brokerd.reputation().admit(telco_id));
     // Settled usage reflects real traffic.
     let (dl, _ul) = w.brokerd.settled_bytes(session).expect("settlement");
     assert!(dl > 1_000_000, "settled {dl} DL bytes");
