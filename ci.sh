@@ -203,6 +203,64 @@ rm -rf "$bscratch"
 echo
 echo "==> exp_broker gates OK (k1 $bk1 au/s, k4 $bk4 au/s, kill failed_attaches 0)"
 
+# brokerd wire-service gate (ROADMAP item 3 / PR 9). Two layers:
+#
+#   1. The *committed* results/exp_brokerd.metrics.json — written by the
+#      last full run — must itself record a served-auth/s at C=16 above
+#      the floor, a cross-connection batching win >= 1.5x over the
+#      single-request-per-batch baseline, and zero bad frames / lost
+#      requests. A PR can only re-commit it from a run that clears this.
+#   2. A fresh run reproduces the service end to end on this box. This
+#      is wall-clock on a shared machine, so the fresh floor sits at
+#      ~1/3 of the dev-box best (same protocol as the mega gates) and
+#      only the correctness counters (bad_frames, lost) are exact.
+#      CI_QUICK=1 runs --smoke (C in {1,4}, small burst); CI_QUICK=0
+#      runs the full sweep and holds the fresh run to the C=16 floor.
+BROKERD_C16_FLOOR=1600
+BROKERD_WIN_X100_FLOOR=150
+BROKERD_SMOKE_FLOOR=1000
+wk=$(metric results/exp_brokerd.metrics.json "exp_brokerd.c16.served_per_sec")
+ww=$(metric results/exp_brokerd.metrics.json "exp_brokerd.batch_win_x100")
+wb=$(metric results/exp_brokerd.metrics.json "exp_brokerd.bad_frames")
+wl=$(metric results/exp_brokerd.metrics.json "exp_brokerd.lost")
+if [ "$wk" -lt "$BROKERD_C16_FLOOR" ]; then
+    echo "FAIL: committed exp_brokerd.c16.served_per_sec=$wk < floor $BROKERD_C16_FLOOR"
+    exit 1
+fi
+if [ "$ww" -lt "$BROKERD_WIN_X100_FLOOR" ]; then
+    echo "FAIL: committed exp_brokerd.batch_win_x100=$ww < floor $BROKERD_WIN_X100_FLOOR"
+    exit 1
+fi
+if [ "$wb" -ne 0 ] || [ "$wl" -ne 0 ]; then
+    echo "FAIL: committed exp_brokerd recorded bad_frames=$wb lost=$wl (want 0/0)"
+    exit 1
+fi
+wscratch=$(mktemp -d)
+if [ "$CI_QUICK" = "1" ]; then
+    run env CELLBRICKS_RESULTS_DIR="$wscratch" \
+        cargo run --release -q -p cellbricks-bench --bin exp_brokerd -- --smoke
+    fresh_wire=$(metric "$wscratch/exp_brokerd.metrics.json" "exp_brokerd.c4.served_per_sec")
+    wire_floor=$BROKERD_SMOKE_FLOOR
+else
+    run env CELLBRICKS_RESULTS_DIR="$wscratch" \
+        cargo run --release -q -p cellbricks-bench --bin exp_brokerd
+    fresh_wire=$(metric "$wscratch/exp_brokerd.metrics.json" "exp_brokerd.c16.served_per_sec")
+    wire_floor=$BROKERD_C16_FLOOR
+fi
+fresh_wb=$(metric "$wscratch/exp_brokerd.metrics.json" "exp_brokerd.bad_frames")
+fresh_wl=$(metric "$wscratch/exp_brokerd.metrics.json" "exp_brokerd.lost")
+if [ "$fresh_wire" -lt "$wire_floor" ]; then
+    echo "FAIL: fresh exp_brokerd served/s $fresh_wire < floor $wire_floor"
+    exit 1
+fi
+if [ "$fresh_wb" -ne 0 ] || [ "$fresh_wl" -ne 0 ]; then
+    echo "FAIL: fresh exp_brokerd recorded bad_frames=$fresh_wb lost=$fresh_wl (want 0/0)"
+    exit 1
+fi
+rm -rf "$wscratch"
+echo
+echo "==> exp_brokerd gates OK (committed c16 $wk au/s, win ${ww}x100; fresh $fresh_wire au/s, bad_frames 0, lost 0)"
+
 # Figure-replay gate: the committed results/*.txt are claims this tree
 # must keep reproducing bit-for-bit. Every experiment is a pure function
 # of its seed (no wall clock, no ambient RNG), so each binary is rerun

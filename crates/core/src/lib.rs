@@ -29,6 +29,7 @@
 pub mod attach_bench;
 pub mod billing;
 pub mod broker_plane;
+pub mod broker_server;
 pub mod brokerd;
 pub mod btelco;
 pub mod principal;
@@ -38,6 +39,7 @@ pub mod ue;
 
 pub use billing::{BasebandMeter, TrafficReport};
 pub use broker_plane::{BrokerPlane, BrokerPlaneConfig, BrokerRing, ReplicaSite};
+pub use broker_server::{BrokerServer, BrokerServerConfig, ServeConfig};
 pub use brokerd::{Brokerd, BrokerdConfig};
 pub use btelco::{BTelcoGateway, BTelcoGatewayConfig};
 pub use principal::{BrokerKeys, Identity, TelcoKeys, UeKeys};

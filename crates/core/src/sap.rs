@@ -27,8 +27,8 @@
 use crate::principal::{BrokerKeys, Identity, TelcoKeys, UeKeys};
 use bytes::Bytes;
 use cellbricks_crypto::cert::{Certificate, Role};
-use cellbricks_crypto::ed25519::{verify_batch, BatchItem, Signature, VerifyingKey};
-use cellbricks_crypto::sealed::{open, seal, SealedBox};
+use cellbricks_crypto::ed25519::{sign_batch, verify_batch, BatchItem, Signature, VerifyingKey};
+use cellbricks_crypto::sealed::{open, seal, seal_begin, seal_finish_batch, SealedBox};
 use cellbricks_crypto::x25519::X25519PublicKey;
 use cellbricks_epc::wire::{Reader, Writer};
 use cellbricks_sim::SimRng;
@@ -426,6 +426,7 @@ pub enum SapError {
 }
 
 /// What the broker needs to know about a subscriber.
+#[derive(Clone)]
 pub struct SubscriberEntry {
     /// UE signing public key (to verify `authReqU`).
     pub sign_pk: VerifyingKey,
@@ -469,7 +470,28 @@ pub fn broker_process(
         Some(ok) => ok,
         None => broker_authenticate_sequential(keys, ca, req, &lookup, &telco_ok)?,
     };
+    let (reply, qos, ss) = broker_grant(keys, req, &vec, &entry, session_id, rng);
+    Ok((reply, vec, qos, ss))
+}
 
+/// Step 3, second half: the request is authenticated and authorized —
+/// pick QoS, mint the shared secret, seal and sign both sub-responses.
+/// This is the only part of broker processing that consumes RNG, and it
+/// consumes it in exactly the order the combined [`broker_process`]
+/// always did, so splitting it out cannot perturb seeded event streams.
+///
+/// Exposed separately so the `brokerd` wire server can verify a whole
+/// readiness batch of requests first (one cross-connection Ed25519
+/// batch) and only then grant each one.
+#[must_use]
+pub fn broker_grant(
+    keys: &BrokerKeys,
+    req: &AuthReqT,
+    vec: &AuthVec,
+    entry: &SubscriberEntry,
+    session_id: u64,
+    rng: &mut SimRng,
+) -> (BrokerReply, QosInfo, [u8; 32]) {
     // Grant QoS: the broker picks within the bTelco's capability and the
     // user's plan.
     let qos = QosInfo {
@@ -513,16 +535,235 @@ pub fn broker_process(
         sealed: sealed_u,
     };
 
-    Ok((
+    (
         BrokerReply {
             resp_t,
             resp_u,
             b_cert: keys.cert.clone(),
         },
-        vec,
         qos,
         ss,
-    ))
+    )
+}
+
+/// One authenticated request awaiting its grant, for
+/// [`broker_grant_batch`].
+pub struct GrantJob<'a> {
+    /// The verified request.
+    pub req: &'a AuthReqT,
+    /// Its decoded authentication vector.
+    pub vec: &'a AuthVec,
+    /// The subscriber entry authorizing it.
+    pub entry: &'a SubscriberEntry,
+    /// Session id to bind into both sub-responses.
+    pub session_id: u64,
+}
+
+/// [`broker_grant`] over a whole readiness batch, pooling the expensive
+/// field inversions: the four per-request seal inversions collapse into
+/// one shared inversion for the batch (`seal_finish_batch`), and the two
+/// per-request signature compressions into another (`sign_batch`).
+///
+/// Per request, RNG is consumed in exactly the order [`broker_grant`]
+/// consumes it (ss, ephemeral-T, ephemeral-U) and jobs are staged in
+/// slice order, so with the same rng this returns byte-identical replies
+/// to granting each job sequentially — the wire server's batched path
+/// and the simulator's sequential path cannot diverge.
+#[must_use]
+pub fn broker_grant_batch(
+    keys: &BrokerKeys,
+    jobs: &[GrantJob<'_>],
+    rng: &mut SimRng,
+) -> Vec<(BrokerReply, QosInfo, [u8; 32])> {
+    // Stage A: everything that consumes RNG or is per-request cheap —
+    // QoS choice, shared secret, response bodies, seal_begin pairs.
+    let mut staged = Vec::with_capacity(jobs.len());
+    let mut bodies = Vec::with_capacity(jobs.len() * 2);
+    let mut pendings = Vec::with_capacity(jobs.len() * 2);
+    for job in jobs {
+        let qos = QosInfo {
+            mbr_bps: job.entry.plan_mbr_bps.min(job.req.qos_cap.max_mbr_bps),
+            qci: job.req.qos_cap.qci_supported.first().copied().unwrap_or(9),
+            lawful_intercept: job.entry.lawful_intercept,
+        };
+        let ss = rng.seed32();
+        let t_body = {
+            let mut w = Writer::new();
+            w.put_u64(job.entry.alias)
+                .put_fixed(&job.vec.id_t.0)
+                .put_fixed(&ss)
+                .put_u64(qos.mbr_bps)
+                .put_u8(qos.qci)
+                .put_u8(u8::from(qos.lawful_intercept))
+                .put_u64(job.session_id);
+            w.finish()
+        };
+        pendings.push(seal_begin(rng, &X25519PublicKey(job.req.t_encrypt_pk)));
+        bodies.push(t_body);
+        let u_body = {
+            let mut w = Writer::new();
+            w.put_fixed(&job.vec.id_u.0)
+                .put_fixed(&job.vec.id_t.0)
+                .put_fixed(&ss)
+                .put_fixed(&job.vec.nonce)
+                .put_u64(job.session_id);
+            w.finish()
+        };
+        pendings.push(seal_begin(rng, &job.entry.encrypt_pk));
+        bodies.push(u_body);
+        staged.push((qos, ss));
+    }
+
+    // Stage B: finish all 2n seals under one shared inversion, then all
+    // 2n response signatures under another.
+    let body_refs: Vec<&[u8]> = bodies.iter().map(|b| &b[..]).collect();
+    let sealed = seal_finish_batch(&pendings, &body_refs);
+    let sealed_bytes: Vec<Vec<u8>> = sealed.iter().map(SealedBox::to_bytes).collect();
+    let sign_items: Vec<(&cellbricks_crypto::SigningKey, &[u8])> =
+        sealed_bytes.iter().map(|b| (&keys.sign, &b[..])).collect();
+    let sigs = sign_batch(&sign_items);
+
+    // Stage C: assemble replies in job order.
+    let mut sealed_iter = sealed.into_iter();
+    let mut sig_iter = sigs.into_iter();
+    jobs.iter()
+        .zip(staged)
+        .map(|(_, (qos, ss))| {
+            let resp_t = SignedSealed {
+                sealed: sealed_iter.next().expect("staged sealed_t"),
+                sig: sig_iter.next().expect("staged sig_t"),
+            };
+            let resp_u = SignedSealed {
+                sealed: sealed_iter.next().expect("staged sealed_u"),
+                sig: sig_iter.next().expect("staged sig_u"),
+            };
+            (
+                BrokerReply {
+                    resp_t,
+                    resp_u,
+                    b_cert: keys.cert.clone(),
+                },
+                qos,
+                ss,
+            )
+        })
+        .collect()
+}
+
+/// The owned message buffers and (signature, key) pairs for one request's
+/// three Ed25519 checks: CA over the bTelco certificate, bTelco over
+/// `authReqT`, UE over the sealed `authVec`. Owning the buffers lets a
+/// server pool the material of many requests — from different
+/// connections — into one [`verify_batch`] call.
+pub struct AuthBatchMaterial {
+    cert_tbs: Vec<u8>,
+    signed: Bytes,
+    sealed_bytes: Vec<u8>,
+    cert_sig: Signature,
+    ca: VerifyingKey,
+    req_sig: Signature,
+    telco_pk: VerifyingKey,
+    ue_sig: Signature,
+    ue_pk: VerifyingKey,
+}
+
+impl AuthBatchMaterial {
+    /// The three [`BatchItem`]s, borrowing this material.
+    #[must_use]
+    pub fn items(&self) -> [BatchItem<'_>; 3] {
+        [
+            BatchItem {
+                msg: &self.cert_tbs,
+                sig: self.cert_sig,
+                key: self.ca,
+            },
+            BatchItem {
+                msg: &self.signed,
+                sig: self.req_sig,
+                key: self.telco_pk,
+            },
+            BatchItem {
+                msg: &self.sealed_bytes,
+                sig: self.ue_sig,
+                key: self.ue_pk,
+            },
+        ]
+    }
+}
+
+/// Step 3, first half: every check on an `authReqT` that does *not*
+/// involve a signature — certificate role/expiry, broker addressing,
+/// unsealing the `authVec`, subscriber lookup, and admission policy.
+/// `None` means something failed; the caller owning error attribution
+/// re-runs [`broker_authenticate_sequential`] via [`broker_process`] (or
+/// directly) to name the failure.
+///
+/// On success, returns the decoded `authVec`, the subscriber entry, and
+/// the [`AuthBatchMaterial`] whose three signatures still must verify —
+/// either alone ([`broker_process`]'s per-request batch) or pooled
+/// across many requests by the wire server.
+pub fn broker_precheck(
+    keys: &BrokerKeys,
+    ca: &VerifyingKey,
+    req: &AuthReqT,
+    lookup: &impl Fn(Identity) -> Option<SubscriberEntry>,
+    telco_ok: &impl Fn(Identity) -> bool,
+) -> Option<(AuthVec, SubscriberEntry, AuthBatchMaterial)> {
+    let id_t = broker_precheck_pre_open(keys, req)?;
+    let vec_bytes = open(&keys.encrypt, &req.req_u.sealed_vec).ok()?;
+    broker_precheck_post_open(keys.identity(), ca, req, id_t, &vec_bytes, lookup, telco_ok)
+}
+
+/// The [`broker_precheck`] checks that precede unsealing the `authVec`:
+/// certificate role/expiry and broker addressing. Split out so a wire
+/// server can run the expensive `open`s of a whole readiness batch as
+/// one [`open_batch`] between the two precheck halves.
+pub fn broker_precheck_pre_open(keys: &BrokerKeys, req: &AuthReqT) -> Option<Identity> {
+    req.t_cert.check_role_and_expiry(Role::BTelco, 0).ok()?;
+    if req.req_u.broker_name != keys.name {
+        return None;
+    }
+    Some(Identity::of_name(&req.t_cert.subject))
+}
+
+/// The [`broker_precheck`] checks that follow unsealing: `authVec`
+/// decode, identity binding, subscriber lookup, admission policy, and
+/// assembling the signature material. `self_id` is the broker's own
+/// identity (`keys.identity()`); `id_t` is what
+/// [`broker_precheck_pre_open`] returned.
+#[allow(clippy::too_many_arguments)]
+pub fn broker_precheck_post_open(
+    self_id: Identity,
+    ca: &VerifyingKey,
+    req: &AuthReqT,
+    id_t: Identity,
+    vec_bytes: &[u8],
+    lookup: &impl Fn(Identity) -> Option<SubscriberEntry>,
+    telco_ok: &impl Fn(Identity) -> bool,
+) -> Option<(AuthVec, SubscriberEntry, AuthBatchMaterial)> {
+    let vec = AuthVec::decode(vec_bytes)?;
+    if vec.id_b != self_id || vec.id_t != id_t {
+        return None;
+    }
+    let entry = lookup(vec.id_u)?;
+    if entry.suspect || !telco_ok(id_t) {
+        return None;
+    }
+    if entry.lawful_intercept && !req.qos_cap.li_capable {
+        return None;
+    }
+    let material = AuthBatchMaterial {
+        cert_tbs: req.t_cert.tbs(),
+        signed: AuthReqT::signed_bytes(&req.req_u, &req.qos_cap, &req.t_cert, &req.t_encrypt_pk),
+        sealed_bytes: req.req_u.sealed_vec.to_bytes(),
+        cert_sig: req.t_cert.signature,
+        ca: *ca,
+        req_sig: req.sig,
+        telco_pk: req.t_cert.key,
+        ue_sig: req.req_u.sig,
+        ue_pk: entry.sign_pk,
+    };
+    Some((vec, entry, material))
 }
 
 /// The optimistic attach path: run every cheap structural and policy
@@ -536,50 +777,20 @@ fn broker_authenticate_batched(
     lookup: &impl Fn(Identity) -> Option<SubscriberEntry>,
     telco_ok: &impl Fn(Identity) -> bool,
 ) -> Option<(AuthVec, SubscriberEntry)> {
-    req.t_cert.check_role_and_expiry(Role::BTelco, 0).ok()?;
-    let id_t = Identity::of_name(&req.t_cert.subject);
-    if req.req_u.broker_name != keys.name {
-        return None;
-    }
-    let vec_bytes = open(&keys.encrypt, &req.req_u.sealed_vec).ok()?;
-    let vec = AuthVec::decode(&vec_bytes)?;
-    if vec.id_b != keys.identity() || vec.id_t != id_t {
-        return None;
-    }
-    let entry = lookup(vec.id_u)?;
-    if entry.suspect || !telco_ok(id_t) {
-        return None;
-    }
-    if entry.lawful_intercept && !req.qos_cap.li_capable {
-        return None;
-    }
-    let cert_tbs = req.t_cert.tbs();
-    let signed = AuthReqT::signed_bytes(&req.req_u, &req.qos_cap, &req.t_cert, &req.t_encrypt_pk);
-    let sealed_bytes = req.req_u.sealed_vec.to_bytes();
-    verify_batch(&[
-        BatchItem {
-            msg: &cert_tbs,
-            sig: req.t_cert.signature,
-            key: *ca,
-        },
-        BatchItem {
-            msg: &signed,
-            sig: req.sig,
-            key: req.t_cert.key,
-        },
-        BatchItem {
-            msg: &sealed_bytes,
-            sig: req.req_u.sig,
-            key: entry.sign_pk,
-        },
-    ])
-    .then_some((vec, entry))
+    let (vec, entry, material) = broker_precheck(keys, ca, req, lookup, telco_ok)?;
+    verify_batch(&material.items()).then_some((vec, entry))
 }
 
 /// The seed-order checks, one at a time, attributing the first failure.
 /// Signature checks go through the verifier-key cache (result-identical
-/// to uncached verification).
-fn broker_authenticate_sequential(
+/// to uncached verification). Public because the `brokerd` wire server's
+/// fallback path needs the same exact error attribution after a pooled
+/// batch check fails.
+///
+/// # Errors
+/// The [`SapError`] naming the first check that failed, in the exact
+/// order the seed implementation checked them.
+pub fn broker_authenticate_sequential(
     keys: &BrokerKeys,
     ca: &VerifyingKey,
     req: &AuthReqT,
@@ -746,6 +957,63 @@ mod tests {
             max_mbr_bps: 100_000_000,
             qci_supported: vec![9, 8],
             li_capable: true,
+        }
+    }
+
+    // The pooled-inversion grant path must be byte-identical to granting
+    // each job through `broker_grant` with the same rng stream.
+    #[test]
+    fn grant_batch_matches_sequential() {
+        let mut w = world();
+        let id_t = w.telco.identity();
+        let entry = entry_for(&w);
+        let lookup = |_: Identity| Some(entry.clone());
+        let reqs: Vec<AuthReqT> = (0..3)
+            .map(|_| {
+                let (req_u, _) = ue_build_request(
+                    &w.ue,
+                    "broker.example",
+                    &w.broker.encrypt.public_key(),
+                    id_t,
+                    &mut w.rng,
+                );
+                telco_wrap_request(&w.telco, req_u, qos_cap())
+            })
+            .collect();
+        let auth: Vec<(AuthVec, SubscriberEntry)> = reqs
+            .iter()
+            .map(|r| {
+                broker_authenticate_sequential(&w.broker, &w.ca.public_key(), r, &lookup, &|_| true)
+                    .expect("authenticates")
+            })
+            .collect();
+        let mut rng_a = SimRng::new(0x9a9a);
+        let mut rng_b = SimRng::new(0x9a9a);
+        let seq: Vec<_> = reqs
+            .iter()
+            .zip(&auth)
+            .enumerate()
+            .map(|(i, (req, (vec, entry)))| {
+                broker_grant(&w.broker, req, vec, entry, 100 + i as u64, &mut rng_a)
+            })
+            .collect();
+        let jobs: Vec<GrantJob<'_>> = reqs
+            .iter()
+            .zip(&auth)
+            .enumerate()
+            .map(|(i, (req, (vec, entry)))| GrantJob {
+                req,
+                vec,
+                entry,
+                session_id: 100 + i as u64,
+            })
+            .collect();
+        let batch = broker_grant_batch(&w.broker, &jobs, &mut rng_b);
+        assert_eq!(batch.len(), seq.len());
+        for ((ra, qa, sa), (rb, qb, sb)) in seq.iter().zip(&batch) {
+            assert_eq!(ra.encode(), rb.encode());
+            assert_eq!(qa, qb);
+            assert_eq!(sa, sb);
         }
     }
 

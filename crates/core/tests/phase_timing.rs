@@ -1,0 +1,148 @@
+//! Ad-hoc phase timing for the brokerd hot path. Ignored by default:
+//! run with
+//! `cargo test --release -p cellbricks-core --test phase_timing -- --ignored --nocapture`
+//! to see where a served auth spends its time, at batch depth and alone.
+
+use cellbricks_core::broker_server::{build_requests, population};
+use cellbricks_core::brokerd::BrokerWire;
+use cellbricks_core::sap::{self, AuthReqT, SubscriberEntry};
+use cellbricks_net::wire::unframe;
+use cellbricks_sim::SimRng;
+use std::time::Instant;
+
+fn decode_all(framed: &[Vec<u8>]) -> Vec<AuthReqT> {
+    framed
+        .iter()
+        .map(|f| {
+            let payload = unframe(f).expect("frame");
+            match BrokerWire::decode(payload) {
+                Some(BrokerWire::AuthReq { req_t, .. }) => {
+                    AuthReqT::decode(&req_t).expect("authReqT")
+                }
+                _ => panic!("not an AuthReq"),
+            }
+        })
+        .collect()
+}
+
+#[test]
+#[ignore]
+fn server_phase_timing() {
+    const N: usize = 128;
+    let pop = population(42, 64);
+    let mut server = pop.server(SimRng::new(7));
+    let mut rng = SimRng::new(9);
+    let ues: Vec<usize> = (0..64).collect();
+    let framed = build_requests(&pop, &ues, 4 * N, &mut rng);
+
+    // Warm every cache (DH tables, verifier tables, signature memo).
+    let mut out = Vec::new();
+    let warm: Vec<(usize, &[u8])> = framed[..N].iter().map(|f| (0usize, &f[..])).collect();
+    server.process_batch(&warm, &mut out);
+
+    // Whole-server cost, one deep batch vs N singleton batches.
+    out.clear();
+    let deep: Vec<(usize, &[u8])> = framed[N..2 * N].iter().map(|f| (0usize, &f[..])).collect();
+    let t0 = Instant::now();
+    server.process_batch(&deep, &mut out);
+    let deep_us = t0.elapsed().as_micros() as f64 / N as f64;
+
+    out.clear();
+    let t0 = Instant::now();
+    for f in &framed[2 * N..3 * N] {
+        server.process_batch(&[(0usize, &f[..])], &mut out);
+    }
+    let single_us = t0.elapsed().as_micros() as f64 / N as f64;
+    println!("process_batch: deep {deep_us:.1} us/auth, single {single_us:.1} us/auth");
+
+    // Phase breakdown at depth, on fresh requests.
+    let reqs = decode_all(&framed[3 * N..4 * N]);
+    let keys = &pop.broker;
+    let ca = pop.ca.public_key();
+    let entries: std::collections::HashMap<_, _> = pop
+        .ues
+        .iter()
+        .map(|ue| {
+            let (sign_pk, encrypt_pk) = ue.public();
+            (
+                ue.identity(),
+                SubscriberEntry {
+                    sign_pk,
+                    encrypt_pk,
+                    plan_mbr_bps: 50_000_000,
+                    suspect: false,
+                    alias: 1,
+                    lawful_intercept: false,
+                },
+            )
+        })
+        .collect();
+    let lookup = |id| entries.get(&id).cloned();
+    let telco_ok = |_| true;
+
+    let t0 = Instant::now();
+    let pre: Vec<_> = reqs
+        .iter()
+        .map(|r| sap::broker_precheck_pre_open(keys, r).expect("pre"))
+        .collect();
+    let pre_us = t0.elapsed().as_micros() as f64 / N as f64;
+
+    let boxes: Vec<_> = reqs.iter().map(|r| &r.req_u.sealed_vec).collect();
+    let t0 = Instant::now();
+    let opened = cellbricks_crypto::open_batch(&keys.encrypt, &boxes);
+    let open_us = t0.elapsed().as_micros() as f64 / N as f64;
+
+    let t0 = Instant::now();
+    let checked: Vec<_> = reqs
+        .iter()
+        .zip(&pre)
+        .zip(&opened)
+        .map(|((r, id_t), vec_bytes)| {
+            sap::broker_precheck_post_open(
+                keys.identity(),
+                &ca,
+                r,
+                *id_t,
+                vec_bytes.as_ref().expect("opened"),
+                &lookup,
+                &telco_ok,
+            )
+            .expect("post")
+        })
+        .collect();
+    let post_us = t0.elapsed().as_micros() as f64 / N as f64;
+
+    let t0 = Instant::now();
+    let items: Vec<_> = checked.iter().flat_map(|(_, _, m)| m.items()).collect();
+    assert!(cellbricks_crypto::verify_batch(&items));
+    let verify_us = t0.elapsed().as_micros() as f64 / N as f64;
+
+    let jobs: Vec<sap::GrantJob<'_>> = reqs
+        .iter()
+        .zip(&checked)
+        .enumerate()
+        .map(|(i, (req, (vec, entry, _)))| sap::GrantJob {
+            req,
+            vec,
+            entry,
+            session_id: i as u64,
+        })
+        .collect();
+    let mut grant_rng = SimRng::new(11);
+    let t0 = Instant::now();
+    let replies = sap::broker_grant_batch(keys, &jobs, &mut grant_rng);
+    let grant_us = t0.elapsed().as_micros() as f64 / N as f64;
+
+    let t0 = Instant::now();
+    let encoded: Vec<_> = replies.iter().map(|(r, _, _)| r.encode()).collect();
+    let encode_us = t0.elapsed().as_micros() as f64 / N as f64;
+    assert_eq!(encoded.len(), N);
+
+    println!("phase us/auth at depth {N}:");
+    println!("  pre_open   {pre_us:.1}");
+    println!("  open_batch {open_us:.1}");
+    println!("  post_open  {post_us:.1}");
+    println!("  verify     {verify_us:.1}");
+    println!("  grant      {grant_us:.1}");
+    println!("  encode     {encode_us:.1}");
+}

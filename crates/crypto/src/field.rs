@@ -123,17 +123,22 @@ impl Fe {
 
     /// Carry-propagate so every limb stays below 2⁵² (weak reduction);
     /// folds the limb-4 carry back into limb 0 multiplied by 19.
+    ///
+    /// A single pass suffices for every caller: inputs are sums or
+    /// differences of weakly-reduced operands, so limbs are below 2⁵³,
+    /// the final carry is at most 4, and the 19-fold adds under 2⁷ to
+    /// limb 0 — which the masking already left below 2⁵¹. (The seed ran
+    /// two full passes here on every add/sub, the single hottest
+    /// redundancy in the field layer.)
     #[must_use]
     fn weak_reduce(mut self) -> Fe {
-        for _ in 0..2 {
-            let mut carry = 0u64;
-            for limb in self.0.iter_mut() {
-                let v = *limb + carry;
-                *limb = v & MASK51;
-                carry = v >> 51;
-            }
-            self.0[0] += carry * 19;
+        let mut carry = 0u64;
+        for limb in self.0.iter_mut() {
+            let v = *limb + carry;
+            *limb = v & MASK51;
+            carry = v >> 51;
         }
+        self.0[0] += carry * 19;
         self
     }
 
@@ -238,7 +243,10 @@ impl Fe {
         let v = u128::from(out[0]) + fold;
         out[0] = (v as u64) & MASK51;
         out[1] += (v >> 51) as u64;
-        Fe(out).weak_reduce()
+        // Already weakly reduced: the chain masked every limb below 2⁵¹
+        // and the fold's spill into limb 1 is under 2¹³, so no further
+        // carry pass is needed.
+        Fe(out)
     }
 
     /// Field squaring.
@@ -271,7 +279,8 @@ impl Fe {
         let v = u128::from(out[0]) + fold;
         out[0] = (v as u64) & MASK51;
         out[1] += (v >> 51) as u64;
-        Fe(out).weak_reduce()
+        // Weakly reduced by the same argument as `mul`.
+        Fe(out)
     }
 
     /// Multiply by a small constant.
@@ -293,7 +302,8 @@ impl Fe {
         let v = u128::from(out[0]) + fold;
         out[0] = (v as u64) & MASK51;
         out[1] += (v >> 51) as u64;
-        Fe(out).weak_reduce()
+        // Weakly reduced by the same argument as `mul`.
+        Fe(out)
     }
 
     /// Raise to an arbitrary 256-bit exponent given as 32 little-endian
@@ -348,6 +358,38 @@ impl Fe {
             t = t.square();
         }
         t.mul(z11)
+    }
+
+    /// Invert every element in place with Montgomery's trick: one real
+    /// inversion plus three multiplications per element, instead of one
+    /// ~254-squaring addition chain each.
+    ///
+    /// Zero elements stay zero — exactly what [`Fe::invert`] returns for
+    /// zero (Fermat: 0^(p−2) = 0) — so the results are value-identical
+    /// to inverting each element individually, and `to_bytes` of each
+    /// result is byte-identical.
+    pub fn batch_invert(elems: &mut [Fe]) {
+        // Prefix products over the nonzero elements: prefix[i] is the
+        // product of all nonzero elems[..i].
+        let mut prefix = Vec::with_capacity(elems.len());
+        let mut acc = Fe::ONE;
+        for e in elems.iter() {
+            prefix.push(acc);
+            if !e.is_zero() {
+                acc = acc.mul(*e);
+            }
+        }
+        // One real inversion of the grand product, then walk backwards
+        // peeling one element off per step.
+        let mut inv = acc.invert();
+        for (e, p) in elems.iter_mut().zip(prefix.iter()).rev() {
+            if e.is_zero() {
+                continue;
+            }
+            let e_inv = inv.mul(*p);
+            inv = inv.mul(*e);
+            *e = e_inv;
+        }
     }
 
     /// x^((p−5)/8) = x^(2²⁵² − 3), used in Ed25519 point decompression,
@@ -444,6 +486,29 @@ mod tests {
     fn invert_small() {
         let a = Fe::from_u64(7);
         assert_eq!(a.mul(a.invert()), Fe::ONE);
+    }
+
+    #[test]
+    fn batch_invert_matches_individual() {
+        // Mixed batch: small values, a large value, zero, and one — the
+        // batch results must be byte-identical to element-wise invert().
+        let mut elems = vec![
+            Fe::from_u64(7),
+            Fe::ZERO,
+            fe_from_u64s(0xdead_beef, 0x1234_5678),
+            Fe::ONE,
+            Fe::from_u64(2).neg(),
+            Fe::ZERO,
+        ];
+        let expected: Vec<[u8; 32]> = elems.iter().map(|e| e.invert().to_bytes()).collect();
+        Fe::batch_invert(&mut elems);
+        let got: Vec<[u8; 32]> = elems.iter().map(|e| e.to_bytes()).collect();
+        assert_eq!(got, expected);
+        // Degenerate sizes.
+        Fe::batch_invert(&mut []);
+        let mut one = [Fe::from_u64(3)];
+        Fe::batch_invert(&mut one);
+        assert_eq!(one[0].to_bytes(), Fe::from_u64(3).invert().to_bytes());
     }
 
     #[test]

@@ -11,15 +11,20 @@ pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
     } else {
         k[..key.len()].copy_from_slice(key);
     }
+    let mut pad = [0u8; 64];
+    for (p, b) in pad.iter_mut().zip(k.iter()) {
+        *p = b ^ 0x36;
+    }
     let mut inner = Sha256::new();
-    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
-    inner.update(&ipad);
+    inner.update(&pad);
     inner.update(data);
     let inner_digest = inner.finalize();
 
+    for (p, b) in pad.iter_mut().zip(k.iter()) {
+        *p = b ^ 0x5c;
+    }
     let mut outer = Sha256::new();
-    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
-    outer.update(&opad);
+    outer.update(&pad);
     outer.update(&inner_digest);
     outer.finalize()
 }
@@ -33,15 +38,20 @@ pub fn hmac_sha512(key: &[u8], data: &[u8]) -> [u8; 64] {
     } else {
         k[..key.len()].copy_from_slice(key);
     }
+    let mut pad = [0u8; 128];
+    for (p, b) in pad.iter_mut().zip(k.iter()) {
+        *p = b ^ 0x36;
+    }
     let mut inner = Sha512::new();
-    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
-    inner.update(&ipad);
+    inner.update(&pad);
     inner.update(data);
     let inner_digest = inner.finalize();
 
+    for (p, b) in pad.iter_mut().zip(k.iter()) {
+        *p = b ^ 0x5c;
+    }
     let mut outer = Sha512::new();
-    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
-    outer.update(&opad);
+    outer.update(&pad);
     outer.update(&inner_digest);
     outer.finalize()
 }

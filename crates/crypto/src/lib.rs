@@ -42,8 +42,10 @@ pub mod sha2;
 pub mod x25519;
 
 pub use cert::{Certificate, CertificateAuthority, CertificateError};
-pub use ed25519::{verify_batch, BatchItem, Signature, SigningKey, VerifyingKey};
-pub use sealed::{open, seal, SealedBox, SealedBoxError};
+pub use ed25519::{sign_batch, verify_batch, BatchItem, Signature, SigningKey, VerifyingKey};
+pub use sealed::{
+    open, open_batch, seal, seal_begin, seal_finish_batch, PendingSeal, SealedBox, SealedBoxError,
+};
 pub use sha2::{sha256, sha512};
 pub use x25519::{x25519, X25519PublicKey, X25519SecretKey};
 

@@ -12,9 +12,10 @@
 //! 4. ciphertext = ChaCha20(key, plaintext); tag = HMAC(mac_key, ct)
 //!    (encrypt-then-MAC).
 
+use crate::field::Fe;
 use crate::hkdf;
 use crate::hmac::hmac_sha256;
-use crate::x25519::{X25519PublicKey, X25519SecretKey};
+use crate::x25519::{DeferredU, X25519PublicKey, X25519SecretKey};
 use crate::{chacha20, ct_eq};
 
 /// A sealed (encrypted + authenticated) message.
@@ -87,13 +88,105 @@ pub fn seal<R: rand::Rng + ?Sized>(
     }
 }
 
+/// A seal whose elliptic-curve work is done but whose two field
+/// inversions (ephemeral public key, shared secret) are deferred so a
+/// batch of seals can share one real inversion.
+///
+/// Draws the ephemeral key from `rng` at `begin` time, in the same
+/// order [`seal`] would, so a code path switching between the eager and
+/// staged forms consumes an identical rng stream — and
+/// [`seal_finish_batch`] then produces byte-identical boxes.
+pub struct PendingSeal {
+    ephemeral_pk: DeferredU,
+    shared: DeferredU,
+    recipient: [u8; 32],
+}
+
+/// Start sealing to `recipient`: draw the ephemeral key and run both
+/// curve multiplications, deferring their final inversions.
+#[must_use]
+pub fn seal_begin<R: rand::Rng + ?Sized>(rng: &mut R, recipient: &X25519PublicKey) -> PendingSeal {
+    let ephemeral = X25519SecretKey::generate(rng);
+    PendingSeal {
+        ephemeral_pk: ephemeral.public_key_deferred(),
+        shared: ephemeral.diffie_hellman_deferred(recipient),
+        recipient: recipient.0,
+    }
+}
+
+/// Finish a batch of [`seal_begin`]s against their plaintexts, sharing
+/// one field inversion across all `2·n` deferred denominators. Output
+/// boxes are byte-identical to calling [`seal`] with the same rng draws.
+///
+/// # Panics
+/// Panics if the two slices differ in length.
+#[must_use]
+pub fn seal_finish_batch(pendings: &[PendingSeal], plaintexts: &[&[u8]]) -> Vec<SealedBox> {
+    assert_eq!(pendings.len(), plaintexts.len());
+    let mut dens: Vec<Fe> = Vec::with_capacity(pendings.len() * 2);
+    for p in pendings {
+        dens.push(p.ephemeral_pk.den());
+        dens.push(p.shared.den());
+    }
+    Fe::batch_invert(&mut dens);
+    pendings
+        .iter()
+        .zip(plaintexts)
+        .enumerate()
+        .map(|(i, (p, plaintext))| {
+            let ephemeral_pk = p.ephemeral_pk.finish(dens[2 * i]);
+            let shared = p.shared.finish(dens[2 * i + 1]);
+            let (enc_key, mac_key) = derive_keys(&shared, &ephemeral_pk, &p.recipient);
+            let nonce = [0u8; 12]; // Safe: enc_key is unique per message.
+            let ciphertext = chacha20::apply(&enc_key, &nonce, 0, plaintext);
+            let tag = hmac_sha256(&mac_key, &ciphertext);
+            SealedBox {
+                ephemeral_pk,
+                ciphertext,
+                tag,
+            }
+        })
+        .collect()
+}
+
+/// Open many boxes addressed to the same recipient, sharing one field
+/// inversion across all the Diffie–Hellman computations. Each result is
+/// identical to [`open`] on that box.
+pub fn open_batch(
+    recipient_sk: &X25519SecretKey,
+    boxes: &[&SealedBox],
+) -> Vec<Result<Vec<u8>, SealedBoxError>> {
+    let recipient_pk = recipient_sk.public_key_cached().0;
+    let peers: Vec<X25519PublicKey> = boxes
+        .iter()
+        .map(|b| X25519PublicKey(b.ephemeral_pk))
+        .collect();
+    let pendings: Vec<DeferredU> = recipient_sk.diffie_hellman_deferred_many(&peers);
+    let mut dens: Vec<Fe> = pendings.iter().map(DeferredU::den).collect();
+    Fe::batch_invert(&mut dens);
+    boxes
+        .iter()
+        .zip(pendings.iter().zip(&dens))
+        .map(|(b, (p, den_inv))| {
+            let shared = p.finish(*den_inv);
+            let (enc_key, mac_key) = derive_keys(&shared, &b.ephemeral_pk, &recipient_pk);
+            let expected_tag = hmac_sha256(&mac_key, &b.ciphertext);
+            if !ct_eq(&expected_tag, &b.tag) {
+                return Err(SealedBoxError::TagMismatch);
+            }
+            let nonce = [0u8; 12];
+            Ok(chacha20::apply(&enc_key, &nonce, 0, &b.ciphertext))
+        })
+        .collect()
+}
+
 /// Open a sealed box with the recipient's secret key.
 ///
 /// # Errors
 /// Returns [`SealedBoxError::TagMismatch`] if authentication fails.
 pub fn open(recipient_sk: &X25519SecretKey, boxed: &SealedBox) -> Result<Vec<u8>, SealedBoxError> {
     let t0 = crate::metrics::OPEN.begin();
-    let recipient_pk = recipient_sk.public_key().0;
+    let recipient_pk = recipient_sk.public_key_cached().0;
     let shared = recipient_sk.diffie_hellman(&X25519PublicKey(boxed.ephemeral_pk));
     let (enc_key, mac_key) = derive_keys(&shared, &boxed.ephemeral_pk, &recipient_pk);
     let expected_tag = hmac_sha256(&mac_key, &boxed.ciphertext);
@@ -222,6 +315,41 @@ mod tests {
     #[test]
     fn wire_too_short_rejected() {
         assert!(SealedBox::from_bytes(&[0u8; 63]).is_none());
+    }
+
+    // The staged path must consume the same rng draws as the eager path
+    // and produce byte-identical boxes, for any batch size.
+    #[test]
+    fn staged_seal_matches_eager() {
+        let mut rng_a = rng();
+        let mut rng_b = rng();
+        let recipient = X25519SecretKey::generate(&mut rng_a);
+        let _ = X25519SecretKey::generate(&mut rng_b); // keep streams aligned
+        let pk = recipient.public_key();
+        let msgs: [&[u8]; 3] = [b"alpha", b"", b"a longer plaintext body"];
+        let eager: Vec<SealedBox> = msgs.iter().map(|m| seal(&mut rng_a, &pk, m)).collect();
+        let pendings: Vec<PendingSeal> = msgs.iter().map(|_| seal_begin(&mut rng_b, &pk)).collect();
+        let staged = seal_finish_batch(&pendings, &msgs);
+        assert_eq!(staged, eager);
+        for (b, m) in staged.iter().zip(msgs) {
+            assert_eq!(open(&recipient, b).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn open_batch_matches_open() {
+        let mut rng = rng();
+        let recipient = X25519SecretKey::generate(&mut rng);
+        let pk = recipient.public_key();
+        let mut boxes: Vec<SealedBox> =
+            (0..3).map(|i| seal(&mut rng, &pk, &[i as u8; 9])).collect();
+        boxes[1].tag[0] ^= 1; // one tampered box mid-batch
+        let refs: Vec<&SealedBox> = boxes.iter().collect();
+        let batch = open_batch(&recipient, &refs);
+        for (b, r) in boxes.iter().zip(batch) {
+            assert_eq!(r, open(&recipient, b));
+        }
+        assert!(open_batch(&recipient, &[]).is_empty());
     }
 
     #[test]

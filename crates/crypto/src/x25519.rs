@@ -46,9 +46,160 @@ impl X25519SecretKey {
     }
 
     /// Compute the shared secret with a peer's public key.
+    ///
+    /// Peers seen repeatedly (sealed-box recipients: the broker key every
+    /// UE seals to, the UE/telco keys the broker replies to) get a cached
+    /// radix-16 Edwards table on their second use, after which each DH is
+    /// 64 cached additions instead of a ~255-step Montgomery ladder. The
+    /// result is the u-coordinate of the same group element, hence
+    /// byte-identical; one-shot peers (ephemeral keys), `u = −1`, and
+    /// twist points stay on the ladder.
     #[must_use]
     pub fn diffie_hellman(&self, peer: &X25519PublicKey) -> [u8; 32] {
+        if let Some(table) = crate::precomp::dh_accel(&peer.0) {
+            let k = clamp(self.0);
+            let p = crate::precomp::mul_dh_table(&k, &table);
+            let z_minus_y = p.z.sub(p.y);
+            if !z_minus_y.is_zero() {
+                return p.z.add(p.y).mul(z_minus_y.invert()).to_bytes();
+            }
+            // k·P is the identity (u undefined): defer to the ladder so
+            // degenerate inputs keep their exact historical output.
+        }
         x25519(&self.0, &peer.0)
+    }
+
+    /// [`public_key`](Self::public_key) through a small FIFO cache keyed
+    /// on the secret-key bytes, for long-lived keys that derive their
+    /// public half on every operation (sealed-box `open` does). Fresh
+    /// ephemeral keys should use `public_key` directly and stay out of
+    /// the cache. (Keying a map on secret bytes is fine here: this crate
+    /// is explicitly non-constant-time research code, and entries never
+    /// leave the process.)
+    #[must_use]
+    pub fn public_key_cached(&self) -> X25519PublicKey {
+        use std::collections::{HashMap, VecDeque};
+        use std::sync::{Mutex, OnceLock};
+        type PkCache = Mutex<(HashMap<[u8; 32], [u8; 32]>, VecDeque<[u8; 32]>)>;
+        static CACHE: OnceLock<PkCache> = OnceLock::new();
+        const CAP: usize = 64;
+        let cache = CACHE.get_or_init(|| Mutex::new((HashMap::new(), VecDeque::new())));
+        let mut guard = cache.lock().expect("pk cache poisoned");
+        if let Some(pk) = guard.0.get(&self.0) {
+            return X25519PublicKey(*pk);
+        }
+        let pk = self.public_key();
+        if guard.0.insert(self.0, pk.0).is_none() {
+            guard.1.push_back(self.0);
+            if guard.1.len() > CAP {
+                if let Some(old) = guard.1.pop_front() {
+                    guard.0.remove(&old);
+                }
+            }
+        }
+        pk
+    }
+}
+
+/// A u-coordinate as a projective fraction `num/den`, awaiting its final
+/// field inversion so many DH/public-key derivations can share one real
+/// inversion through [`Fe::batch_invert`]. `finish` yields bytes
+/// identical to the eager paths: the inverse is unique in the field and
+/// `to_bytes` is canonical.
+pub(crate) struct DeferredU {
+    num: Fe,
+    den: Fe,
+}
+
+impl DeferredU {
+    /// The denominator to feed into the shared batch inversion.
+    pub(crate) fn den(&self) -> Fe {
+        self.den
+    }
+
+    /// Complete with the precomputed inverse of [`Self::den`].
+    pub(crate) fn finish(&self, den_inv: Fe) -> [u8; 32] {
+        self.num.mul(den_inv).to_bytes()
+    }
+}
+
+impl X25519SecretKey {
+    /// [`Self::public_key`] with the final inversion deferred.
+    pub(crate) fn public_key_deferred(&self) -> DeferredU {
+        let k = clamp(self.0);
+        let p = crate::precomp::mul_base(&k);
+        let z_minus_y = p.z.sub(p.y);
+        if z_minus_y.is_zero() {
+            // Same unreachable-for-clamped-scalars fallback as
+            // `public_key`: run the ladder, defer only its inversion.
+            let mut base = [0u8; 32];
+            base[0] = 9;
+            let (num, den) = x25519_fraction(&self.0, &base);
+            return DeferredU { num, den };
+        }
+        DeferredU {
+            num: p.z.add(p.y),
+            den: z_minus_y,
+        }
+    }
+
+    /// [`Self::diffie_hellman`] with the final inversion deferred.
+    pub(crate) fn diffie_hellman_deferred(&self, peer: &X25519PublicKey) -> DeferredU {
+        if let Some(table) = crate::precomp::dh_accel(&peer.0) {
+            let k = clamp(self.0);
+            let p = crate::precomp::mul_dh_table(&k, &table);
+            let z_minus_y = p.z.sub(p.y);
+            if !z_minus_y.is_zero() {
+                return DeferredU {
+                    num: p.z.add(p.y),
+                    den: z_minus_y,
+                };
+            }
+            // Identity result: defer to the ladder fraction, matching
+            // `diffie_hellman`'s exact historical output (x2·0⁻¹ = 0).
+        }
+        let (num, den) = x25519_fraction(&self.0, &peer.0);
+        DeferredU { num, den }
+    }
+
+    /// Batched [`Self::diffie_hellman_deferred`] over many peers of one
+    /// secret key. Peers with a cached Edwards table keep that fast
+    /// path; every ladder-bound peer (fresh ephemerals, mostly) joins a
+    /// single lane-interleaved ladder run — see
+    /// [`x25519_fractions_same_k`]. Output `i` is byte-for-byte what
+    /// `diffie_hellman_deferred(peers[i])` would return.
+    pub(crate) fn diffie_hellman_deferred_many(&self, peers: &[X25519PublicKey]) -> Vec<DeferredU> {
+        let mut out: Vec<Option<DeferredU>> = Vec::with_capacity(peers.len());
+        let mut ladder_slots = Vec::with_capacity(peers.len());
+        let mut ladder_us = Vec::with_capacity(peers.len());
+        for (i, peer) in peers.iter().enumerate() {
+            let mut done = None;
+            if let Some(table) = crate::precomp::dh_accel(&peer.0) {
+                let k = clamp(self.0);
+                let p = crate::precomp::mul_dh_table(&k, &table);
+                let z_minus_y = p.z.sub(p.y);
+                if !z_minus_y.is_zero() {
+                    done = Some(DeferredU {
+                        num: p.z.add(p.y),
+                        den: z_minus_y,
+                    });
+                }
+            }
+            if done.is_none() {
+                ladder_slots.push(i);
+                ladder_us.push(peer.0);
+            }
+            out.push(done);
+        }
+        for (slot, (num, den)) in ladder_slots
+            .into_iter()
+            .zip(x25519_fractions_same_k(&self.0, &ladder_us))
+        {
+            out[slot] = Some(DeferredU { num, den });
+        }
+        out.into_iter()
+            .map(|o| o.expect("every peer resolved"))
+            .collect()
     }
 }
 
@@ -65,6 +216,13 @@ fn clamp(mut k: [u8; 32]) -> [u8; 32] {
 /// by the clamped scalar `k`.
 #[must_use]
 pub fn x25519(k: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let (x2, z2) = x25519_fraction(k, u);
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// The Montgomery ladder up to (but not including) the final inversion:
+/// returns the result as the projective fraction `(x2, z2)`.
+fn x25519_fraction(k: &[u8; 32], u: &[u8; 32]) -> (Fe, Fe) {
     let k = clamp(*k);
     let x1 = Fe::from_bytes(u);
     let mut x2 = Fe::ONE;
@@ -100,7 +258,86 @@ pub fn x25519(k: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
         core::mem::swap(&mut x2, &mut x3);
         core::mem::swap(&mut z2, &mut z3);
     }
-    x2.mul(z2.invert()).to_bytes()
+    (x2, z2)
+}
+
+/// Many Montgomery ladders under one shared scalar, run
+/// lane-interleaved: because the conditional-swap schedule depends only
+/// on the bits of `k`, every lane executes the identical step sequence,
+/// so each ladder step can sweep across all lanes. A single ladder is a
+/// serial ~10-op field dependency chain per step; interleaving gives the
+/// CPU the independent chains of every lane to overlap, which is where
+/// the batch win comes from — the per-lane op count is unchanged.
+///
+/// Per lane the operations and their order are exactly
+/// [`x25519_fraction`]'s, so each returned fraction is bit-identical to
+/// the one-at-a-time result.
+fn x25519_fractions_same_k(k: &[u8; 32], us: &[[u8; 32]]) -> Vec<(Fe, Fe)> {
+    struct Lane {
+        x1: Fe,
+        x2: Fe,
+        z2: Fe,
+        x3: Fe,
+        z3: Fe,
+    }
+    // Lanes are interleaved in small chunks: enough independent chains
+    // to keep the pipeline fed, small enough (~1.6 KB of lane state)
+    // that every step's working set stays resident in L1.
+    const CHUNK: usize = 8;
+    let k = clamp(*k);
+    let mut out = Vec::with_capacity(us.len());
+    for chunk in us.chunks(CHUNK) {
+        let mut lanes: Vec<Lane> = chunk
+            .iter()
+            .map(|u| {
+                let x1 = Fe::from_bytes(u);
+                Lane {
+                    x1,
+                    x2: Fe::ONE,
+                    z2: Fe::ZERO,
+                    x3: x1,
+                    z3: Fe::ONE,
+                }
+            })
+            .collect();
+        let mut swap = 0u8;
+
+        for t in (0..255).rev() {
+            let k_t = (k[t / 8] >> (t % 8)) & 1;
+            swap ^= k_t;
+            if swap == 1 {
+                for l in lanes.iter_mut() {
+                    core::mem::swap(&mut l.x2, &mut l.x3);
+                    core::mem::swap(&mut l.z2, &mut l.z3);
+                }
+            }
+            swap = k_t;
+
+            for l in lanes.iter_mut() {
+                let a = l.x2.add(l.z2);
+                let aa = a.square();
+                let b = l.x2.sub(l.z2);
+                let bb = b.square();
+                let e = aa.sub(bb);
+                let c = l.x3.add(l.z3);
+                let d = l.x3.sub(l.z3);
+                let da = d.mul(a);
+                let cb = c.mul(b);
+                l.x3 = da.add(cb).square();
+                l.z3 = l.x1.mul(da.sub(cb).square());
+                l.x2 = aa.mul(bb);
+                l.z2 = e.mul(aa.add(e.mul_small(121665)));
+            }
+        }
+        if swap == 1 {
+            for l in lanes.iter_mut() {
+                core::mem::swap(&mut l.x2, &mut l.x3);
+                core::mem::swap(&mut l.z2, &mut l.z3);
+            }
+        }
+        out.extend(lanes.into_iter().map(|l| (l.x2, l.z2)));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -181,6 +418,115 @@ mod tests {
             let mut base = [0u8; 32];
             base[0] = 9;
             assert_eq!(sk.public_key().0, x25519(&sk.0, &base));
+        }
+    }
+
+    // The table-accelerated repeated-peer path must be byte-identical to
+    // the ladder: hammer the same peer so the second call builds the
+    // table and later calls use it.
+    #[test]
+    fn repeated_peer_dh_matches_ladder() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xdca11);
+        let peer = X25519SecretKey::generate(&mut rng).public_key();
+        for _ in 0..8 {
+            let sk = X25519SecretKey::generate(&mut rng);
+            assert_eq!(sk.diffie_hellman(&peer), x25519(&sk.0, &peer.0));
+        }
+    }
+
+    // Hostile u-coordinates — u = −1 (no Edwards image), u = 0 (order-2
+    // point), and a twist u — must keep their exact ladder output no
+    // matter how often they repeat.
+    #[test]
+    fn degenerate_and_twist_peers_match_ladder() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xdca12);
+        // p − 1 (u = −1), little-endian.
+        let mut minus_one = [0xffu8; 32];
+        minus_one[0] = 0xec;
+        minus_one[31] = 0x7f;
+        // u = 2 lies on the twist of Curve25519.
+        let mut two = [0u8; 32];
+        two[0] = 2;
+        for u in [minus_one, [0u8; 32], two] {
+            let peer = X25519PublicKey(u);
+            for _ in 0..4 {
+                let sk = X25519SecretKey::generate(&mut rng);
+                assert_eq!(sk.diffie_hellman(&peer), x25519(&sk.0, &peer.0));
+            }
+        }
+    }
+
+    // Deferred-inversion DH and public-key derivation must reproduce the
+    // eager outputs exactly, including the table, ladder, and degenerate
+    // (zero-denominator) paths.
+    #[test]
+    fn deferred_matches_eager() {
+        use crate::field::Fe;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xdca14);
+        let peer = X25519SecretKey::generate(&mut rng).public_key();
+        let zero = X25519PublicKey([0u8; 32]); // order-2 point: DH result is 0
+        for _ in 0..6 {
+            let sk = X25519SecretKey::generate(&mut rng);
+            let pk = sk.public_key_deferred();
+            assert_eq!(pk.finish(pk.den().invert()), sk.public_key().0);
+            let dh = sk.diffie_hellman_deferred(&peer);
+            assert_eq!(dh.finish(dh.den().invert()), sk.diffie_hellman(&peer));
+            let dz = sk.diffie_hellman_deferred(&zero);
+            assert_eq!(dz.finish(dz.den().invert()), sk.diffie_hellman(&zero));
+        }
+        // And through batch_invert, as production uses them.
+        let sk = X25519SecretKey::generate(&mut rng);
+        let a = sk.public_key_deferred();
+        let b = sk.diffie_hellman_deferred(&peer);
+        let mut dens = [a.den(), b.den()];
+        Fe::batch_invert(&mut dens);
+        assert_eq!(a.finish(dens[0]), sk.public_key().0);
+        assert_eq!(b.finish(dens[1]), sk.diffie_hellman(&peer));
+    }
+
+    // The lane-interleaved many-peer path must match the one-at-a-time
+    // deferred path byte-for-byte across its branches: table-accelerated
+    // repeated peers, ladder-bound fresh peers, and the degenerate u = 0
+    // peer, in one mixed batch.
+    #[test]
+    fn deferred_many_matches_deferred() {
+        use crate::field::Fe;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xdca15);
+        let sk = X25519SecretKey::generate(&mut rng);
+        let repeated = X25519SecretKey::generate(&mut rng).public_key();
+        for _ in 0..3 {
+            // Sightings to warm the repeated peer's table.
+            let _ = sk.diffie_hellman(&repeated);
+        }
+        let fresh: Vec<X25519PublicKey> = (0..5)
+            .map(|_| X25519SecretKey::generate(&mut rng).public_key())
+            .collect();
+        let zero = X25519PublicKey([0u8; 32]);
+        let mut peers: Vec<X25519PublicKey> = vec![repeated, zero];
+        peers.extend(fresh.iter().copied());
+        let many = sk.diffie_hellman_deferred_many(&peers);
+        assert_eq!(many.len(), peers.len());
+        let mut dens: Vec<Fe> = many.iter().map(DeferredU::den).collect();
+        Fe::batch_invert(&mut dens);
+        for ((peer, d), inv) in peers.iter().zip(&many).zip(&dens) {
+            assert_eq!(d.finish(*inv), sk.diffie_hellman(peer));
+        }
+        assert!(sk.diffie_hellman_deferred_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn public_key_cached_matches_uncached() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xdca13);
+        for _ in 0..4 {
+            let sk = X25519SecretKey::generate(&mut rng);
+            assert_eq!(sk.public_key_cached(), sk.public_key());
+            // Second call is the cache hit.
+            assert_eq!(sk.public_key_cached(), sk.public_key());
         }
     }
 

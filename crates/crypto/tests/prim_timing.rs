@@ -1,0 +1,111 @@
+//! Ad-hoc primitive timing (run with `--ignored --nocapture`).
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn prim_timing() {
+    let msg = vec![0xabu8; 700];
+    let n = 2000u32;
+    let t = Instant::now();
+    let mut acc = 0u8;
+    for _ in 0..n {
+        acc ^= cellbricks_crypto::sha2::sha512(&msg)[0];
+    }
+    println!("sha512/700B: {:?}/op acc {acc}", t.elapsed() / n);
+
+    let t = Instant::now();
+    for _ in 0..n {
+        acc ^= cellbricks_crypto::sha2::sha256(&msg)[0];
+    }
+    println!("sha256/700B: {:?}/op acc {acc}", t.elapsed() / n);
+
+    let key = [7u8; 32];
+    let t = Instant::now();
+    for _ in 0..n {
+        acc ^= cellbricks_crypto::hmac::hmac_sha256(&key, &msg)[0];
+    }
+    println!("hmac256/700B: {:?}/op acc {acc}", t.elapsed() / n);
+
+    let nonce = [0u8; 12];
+    let t = Instant::now();
+    for _ in 0..n {
+        acc ^= cellbricks_crypto::chacha20::apply(&key, &nonce, 0, &msg)[0];
+    }
+    println!("chacha/700B: {:?}/op acc {acc}", t.elapsed() / n);
+
+    use cellbricks_crypto::x25519::x25519;
+    let k = [0x55u8; 32];
+    let mut u = [9u8; 32];
+    let t = Instant::now();
+    let n2 = 400u32;
+    for _ in 0..n2 {
+        u = x25519(&k, &u);
+    }
+    println!("x25519 ladder: {:?}/op acc {}", t.elapsed() / n2, u[0]);
+
+    use cellbricks_crypto::ed25519::SigningKey;
+    let sk = SigningKey::from_seed([3u8; 32]);
+    let vk = sk.verifying_key();
+    let msgs: Vec<Vec<u8>> = (0..n2)
+        .map(|i| {
+            let mut m = msg.clone();
+            m[0] = i as u8;
+            m[1] = (i >> 8) as u8;
+            m
+        })
+        .collect();
+    let t = Instant::now();
+    let mut sigs = Vec::new();
+    for m in &msgs {
+        sigs.push(sk.sign(m));
+    }
+    println!("sign/700B: {:?}/op", t.elapsed() / n2);
+    let t = Instant::now();
+    for (m, s) in msgs.iter().zip(&sigs) {
+        assert!(vk.verify_cached(m, s));
+    }
+    println!("verify_cached fresh/700B: {:?}/op", t.elapsed() / n2);
+
+    // deep batch verify of fresh sigs under one key
+    use cellbricks_crypto::{verify_batch, BatchItem};
+    let msgs2: Vec<Vec<u8>> = (0..n2)
+        .map(|i| {
+            let mut m = msg.clone();
+            m[0] = 0xf0;
+            m[2] = i as u8;
+            m[3] = (i >> 8) as u8;
+            m
+        })
+        .collect();
+    let sigs2: Vec<_> = msgs2.iter().map(|m| sk.sign(m)).collect();
+    let items: Vec<BatchItem<'_>> = msgs2
+        .iter()
+        .zip(&sigs2)
+        .map(|(m, s)| BatchItem {
+            msg: m,
+            sig: *s,
+            key: vk,
+        })
+        .collect();
+    let t = Instant::now();
+    assert!(verify_batch(&items));
+    println!("verify_batch deep fresh: {:?}/sig", t.elapsed() / n2);
+}
+
+#[test]
+#[ignore]
+fn invert_timing() {
+    use cellbricks_crypto::field::Fe;
+    let mut x = Fe::from_bytes(&[0x42u8; 32]);
+    let n = 2000u32;
+    let t = Instant::now();
+    for _ in 0..n {
+        x = x.invert();
+    }
+    println!("fe invert: {:?}/op {:?}", t.elapsed() / n, x.to_bytes()[0]);
+    let t = Instant::now();
+    for _ in 0..n {
+        x = x.mul(x);
+    }
+    println!("fe mul: {:?}/op {:?}", t.elapsed() / n, x.to_bytes()[0]);
+}

@@ -4,8 +4,16 @@
 //! protocol encodings: fixed-width integers, length-prefixed byte strings,
 //! and explicit type tags, with decoding returning `None` on any
 //! truncation or garbage.
+//!
+//! The [`frame_into`]/[`unframe`]/[`write_frame`]/[`read_frame`] family
+//! is the *transport* framing for control-plane messages carried over
+//! real sockets (the `brokerd` daemon, its load generator, and the
+//! `broker_server` example): a u32 big-endian length prefix followed by
+//! exactly that many payload bytes. One framing implementation, used for
+//! both datagram (one frame per datagram) and stream transports.
 
 use bytes::{BufMut, Bytes, BytesMut};
+use std::io;
 use std::net::Ipv4Addr;
 
 /// Incremental writer over a growable buffer.
@@ -139,6 +147,118 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Largest frame payload either side will accept. Generously above any
+/// legitimate control-plane message (an `authReqT` is well under 1 KiB);
+/// a prefix past this is a protocol error, not a reason to allocate.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Why a length-prefixed frame could not be parsed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The hostile declared length.
+        len: usize,
+    },
+    /// The buffer ends before the declared payload does (or before the
+    /// 4-byte prefix itself is complete).
+    Truncated,
+    /// A datagram carried bytes past the end of its single frame.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len } => {
+                write!(f, "oversized frame: {len} > {MAX_FRAME_LEN} bytes")
+            }
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::TrailingBytes => write!(f, "bytes after end of frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Append one length-prefixed frame to `out` (a reusable buffer — the
+/// datagram send path frames every reply into one scratch allocation).
+pub fn frame_into(payload: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// One length-prefixed frame as a fresh buffer.
+#[must_use]
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    frame_into(payload, &mut out);
+    out
+}
+
+/// Parse a datagram as exactly one length-prefixed frame, returning the
+/// payload in place (no copy).
+///
+/// # Errors
+/// [`FrameError`] on a hostile length, a short datagram, or trailing
+/// bytes — the caller counts these and drops the datagram.
+pub fn unframe(datagram: &[u8]) -> Result<&[u8], FrameError> {
+    let Some(prefix) = datagram.get(..4) else {
+        return Err(FrameError::Truncated);
+    };
+    let len = u32::from_be_bytes(prefix.try_into().expect("4-byte slice")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { len });
+    }
+    let body = &datagram[4..];
+    match body.len().cmp(&len) {
+        std::cmp::Ordering::Less => Err(FrameError::Truncated),
+        std::cmp::Ordering::Greater => Err(FrameError::TrailingBytes),
+        std::cmp::Ordering::Equal => Ok(body),
+    }
+}
+
+/// Write one length-prefixed frame to a stream transport.
+///
+/// # Errors
+/// `InvalidInput` for a payload over [`MAX_FRAME_LEN`] (never produced by
+/// this codebase's encoders), or any underlying I/O error.
+pub fn write_frame<W: io::Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            FrameError::Oversized { len: payload.len() }.to_string(),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one length-prefixed frame from a stream transport.
+///
+/// A hostile length prefix surfaces as a clean `InvalidData` error — the
+/// peer is speaking a different protocol (or attacking), and the correct
+/// response is to drop the connection, not to allocate or panic.
+///
+/// # Errors
+/// `InvalidData` on an oversized prefix; `UnexpectedEof` (from the
+/// underlying reads) on truncation; any other underlying I/O error.
+pub fn read_frame<R: io::Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            FrameError::Oversized { len }.to_string(),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +312,46 @@ mod tests {
         let bytes = w.finish();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.get_str(), None);
+    }
+
+    #[test]
+    fn frame_roundtrips_datagram_and_stream() {
+        let payload = b"hello broker";
+        let datagram = frame(payload);
+        assert_eq!(unframe(&datagram), Ok(payload.as_slice()));
+
+        let mut stream = Vec::new();
+        write_frame(&mut stream, payload).unwrap();
+        assert_eq!(stream, datagram);
+        let got = read_frame(&mut stream.as_slice()).unwrap();
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn unframe_rejects_hostile_shapes() {
+        assert_eq!(unframe(&[]), Err(FrameError::Truncated));
+        assert_eq!(unframe(&[0, 0, 1]), Err(FrameError::Truncated));
+        assert_eq!(unframe(&[0, 0, 0, 2, 7]), Err(FrameError::Truncated));
+        assert_eq!(unframe(&[0, 0, 0, 1, 7, 8]), Err(FrameError::TrailingBytes));
+        let oversized = frame(b"x");
+        let mut evil = oversized.clone();
+        evil[..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(
+            unframe(&evil),
+            Err(FrameError::Oversized {
+                len: u32::MAX as usize
+            })
+        );
+    }
+
+    #[test]
+    fn read_frame_oversized_is_a_clean_error() {
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&u32::MAX.to_be_bytes());
+        evil.extend_from_slice(b"junk");
+        let err = read_frame(&mut evil.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = write_frame(&mut Vec::new(), &vec![0u8; MAX_FRAME_LEN + 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 }

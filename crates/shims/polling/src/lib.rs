@@ -1,0 +1,150 @@
+//! Offline stand-in for the [`polling`](https://crates.io/crates/polling)
+//! crate: readiness waiting for nonblocking UDP sockets.
+//!
+//! The upstream crate wraps epoll/kqueue/IOCP through `libc`/`windows-sys`
+//! bindings — registry dependencies this workspace cannot resolve, and
+//! `unsafe` FFI the workspace forbids. This shim implements the one
+//! primitive the `brokerd` wire server needs — *block until the socket has
+//! a datagram queued, or a timeout passes* — with safe `std` calls only:
+//!
+//! * a 1-byte [`UdpSocket::peek_from`] on a temporarily-blocking socket
+//!   with a read timeout (`MSG_PEEK` under the hood: the kernel parks the
+//!   thread on socket readability, exactly what `poll(2)` on one fd does,
+//!   and the probed datagram stays queued for the real `recv_from`);
+//! * after readiness, the caller drains with the socket restored to
+//!   nonblocking mode until `WouldBlock` — the drain-until-dry half of an
+//!   edge-triggered readiness loop.
+//!
+//! The API is the subset the workspace uses, shaped like upstream's
+//! single-source fast path rather than its full multi-source `Poller`
+//! registry. Exists so the workspace resolves without crates.io access
+//! (see `crates/shims/README.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io;
+use std::net::UdpSocket;
+use std::time::Duration;
+
+/// Waits for readability on one nonblocking [`UdpSocket`].
+///
+/// Contract: the socket must be in nonblocking mode between calls; the
+/// poller flips it to blocking only for the duration of each wait and
+/// always restores nonblocking mode before returning.
+#[derive(Debug, Default)]
+pub struct Poller(());
+
+impl Poller {
+    /// A new poller. Infallible here; upstream returns `io::Result` for
+    /// the epoll fd creation, so the signature keeps the `Result`.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller(()))
+    }
+
+    /// Block until `sock` has at least one datagram queued, or `timeout`
+    /// passes (`None` waits forever). Returns `Ok(true)` when a datagram
+    /// is ready — it is *not* consumed; read it with
+    /// [`UdpSocket::recv_from`] — and `Ok(false)` on timeout.
+    ///
+    /// # Errors
+    /// Any socket error other than the would-block/timed-out family.
+    pub fn wait_readable(&self, sock: &UdpSocket, timeout: Option<Duration>) -> io::Result<bool> {
+        let mut probe = [0u8; 1];
+        if matches!(timeout, Some(t) if t.is_zero()) {
+            // Pure poll: the socket is already nonblocking, peek directly.
+            return match sock.peek_from(&mut probe) {
+                Ok(_) => Ok(true),
+                Err(e) if is_not_ready(&e) => Ok(false),
+                Err(e) => Err(e),
+            };
+        }
+        sock.set_nonblocking(false)?;
+        let wait = sock
+            .set_read_timeout(timeout)
+            .and_then(|()| match sock.peek_from(&mut probe) {
+                Ok(_) => Ok(true),
+                Err(e) if is_not_ready(&e) => Ok(false),
+                Err(e) => Err(e),
+            });
+        // Restore the contract even when the wait itself failed.
+        sock.set_nonblocking(true)?;
+        wait
+    }
+}
+
+/// True for the error kinds that mean "no datagram yet" rather than a
+/// real failure: `WouldBlock` from a nonblocking peek, `TimedOut` from a
+/// blocking peek whose read timeout expired.
+#[must_use]
+pub fn is_not_ready(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (UdpSocket, UdpSocket) {
+        let a = UdpSocket::bind("127.0.0.1:0").expect("bind a");
+        let b = UdpSocket::bind("127.0.0.1:0").expect("bind b");
+        a.set_nonblocking(true).expect("nonblocking");
+        (a, b)
+    }
+
+    #[test]
+    fn timeout_on_idle_socket() {
+        let (a, _b) = pair();
+        let poller = Poller::new().unwrap();
+        let ready = poller
+            .wait_readable(&a, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(!ready, "no datagram was sent");
+    }
+
+    #[test]
+    fn zero_timeout_is_a_nonblocking_poll() {
+        let (a, _b) = pair();
+        let poller = Poller::new().unwrap();
+        let ready = poller.wait_readable(&a, Some(Duration::ZERO)).unwrap();
+        assert!(!ready);
+    }
+
+    #[test]
+    fn readiness_does_not_consume_the_datagram() {
+        let (a, b) = pair();
+        let addr = a.local_addr().unwrap();
+        b.send_to(b"hello", addr).unwrap();
+        let poller = Poller::new().unwrap();
+        let ready = poller
+            .wait_readable(&a, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(ready);
+        // The full datagram is still queued, and the socket is back in
+        // nonblocking mode (the recv below must not hang on an empty
+        // queue afterwards).
+        let mut buf = [0u8; 16];
+        let (n, _) = a.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello");
+        assert!(matches!(a.recv_from(&mut buf), Err(e) if is_not_ready(&e)));
+    }
+
+    #[test]
+    fn wait_sees_a_datagram_sent_after_the_wait_begins() {
+        let (a, b) = pair();
+        let addr = a.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            b.send_to(b"late", addr).unwrap();
+        });
+        let poller = Poller::new().unwrap();
+        let ready = poller
+            .wait_readable(&a, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(ready, "the late datagram must wake the wait");
+        sender.join().unwrap();
+    }
+}

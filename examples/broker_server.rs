@@ -13,27 +13,12 @@ use cellbricks::core::brokerd::BrokerWire;
 use cellbricks::core::principal::{BrokerKeys, TelcoKeys, UeKeys};
 use cellbricks::core::sap::{self, QosCap, SubscriberEntry};
 use cellbricks::crypto::cert::CertificateAuthority;
+use cellbricks::net::wire::{read_frame, write_frame};
 use cellbricks::sim::SimRng;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
-
-fn write_frame(stream: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
-    stream.write_all(&(bytes.len() as u32).to_be_bytes())?;
-    stream.write_all(bytes)
-}
-
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
-    let mut len = [0u8; 4];
-    stream.read_exact(&mut len)?;
-    let len = u32::from_be_bytes(len) as usize;
-    assert!(len < 1 << 20, "oversized frame");
-    let mut buf = vec![0u8; len];
-    stream.read_exact(&mut buf)?;
-    Ok(buf)
-}
 
 struct SubscriberDb {
     users: HashMap<cellbricks::core::principal::Identity, SubscriberEntry>,
@@ -74,7 +59,15 @@ fn main() {
         let mut server_rng = SimRng::new(99);
         let (mut stream, peer) = listener.accept().expect("accept");
         println!("brokerd: connection from {peer}");
-        let frame = read_frame(&mut stream).expect("read");
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(e) => {
+                // A hostile or garbled prefix (e.g. oversized length) is
+                // a protocol error: drop the connection, don't panic.
+                println!("brokerd: dropping connection from {peer}: {e}");
+                return;
+            }
+        };
         let Some(BrokerWire::AuthReq { req_id, req_t }) = BrokerWire::decode(&frame) else {
             panic!("brokerd: malformed request");
         };
