@@ -261,6 +261,35 @@ rm -rf "$wscratch"
 echo
 echo "==> exp_brokerd gates OK (committed c16 $wk au/s, win ${ww}x100; fresh $fresh_wire au/s, bad_frames 0, lost 0)"
 
+# Multi-core brokerd scaling gate (PR 10): with >= 4 real cores, the
+# W=4 crypto pipeline must at least double W=1 served-auth/s at C=16.
+# Both rates come from fresh full runs on the same box, so the ratio
+# cancels machine speed. W=1 replies are byte-identical to the inline
+# server (pinned by crates/core/tests/broker_pipeline.rs), so the
+# comparison is apples to apples. Skipped below 4 cores — same pattern
+# as the multi-shard gate: without real parallelism the worker pool
+# only adds hand-off overhead.
+if [ "$(nproc)" -ge 4 ]; then
+    brokerd_rate() { # brokerd_rate <workers> -> C=16 served-auth/s
+        local d rate
+        d=$(mktemp -d)
+        env CELLBRICKS_RESULTS_DIR="$d" CELLBRICKS_BROKERD_WORKERS="$1" \
+            cargo run --release -q -p cellbricks-bench --bin exp_brokerd >/dev/null
+        rate=$(metric "$d/exp_brokerd.metrics.json" "exp_brokerd.c16.served_per_sec")
+        rm -rf "$d"
+        echo "$rate"
+    }
+    bw1=$(brokerd_rate 1)
+    bw4=$(brokerd_rate 4)
+    if [ "$bw4" -lt $((bw1 * 2)) ]; then
+        echo "FAIL: brokerd W=4 served/s $bw4 < 2x W=1 served/s $bw1"
+        exit 1
+    fi
+    echo "==> brokerd multi-core scaling OK (W=1 $bw1 -> W=4 $bw4 au/s)"
+else
+    echo "==> brokerd multi-core scaling gate skipped ($(nproc) core(s) < 4)"
+fi
+
 # Figure-replay gate: the committed results/*.txt are claims this tree
 # must keep reproducing bit-for-bit. Every experiment is a pure function
 # of its seed (no wall clock, no ambient RNG), so each binary is rerun

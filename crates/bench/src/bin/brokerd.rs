@@ -2,53 +2,44 @@
 //!
 //! The paper's broker is "an ordinary online service" (§3): no cellular
 //! infrastructure, just a daemon behind a socket. This binary runs the
-//! [`cellbricks_core::broker_server`] core in one of two modes over
-//! loopback UDP with length-prefixed [`BrokerWire`] frames:
+//! [`cellbricks_core::broker_server`] pipeline in one of two modes with
+//! length-prefixed [`BrokerWire`] frames over UDP (default) or TCP
+//! (`--tcp`):
 //!
 //! * **Server** (default): bind `--listen`, provision the deterministic
-//!   `--seed`/`--n` population, and serve the nonblocking readiness loop
-//!   (drain → cross-connection batch verify → single flush) for
-//!   `--duration` seconds (0 = forever). Counters print on exit.
+//!   `--seed`/`--n` population, and serve the staged pipeline — adaptive
+//!   batch window on the I/O stage, `--workers` crypto threads (default:
+//!   cores − 1, env `CELLBRICKS_BROKERD_WORKERS`) — for `--duration`
+//!   seconds (0 = forever). Counters print on exit.
 //! * **Load generator** (`--connect`): `--clients C` sender threads,
 //!   each with its own socket, disjoint UE identities from the *same*
 //!   seed path, and `--burst N` pre-built requests pumped through a
-//!   `--window W` pipeline with timeout retransmit.
+//!   `--window W` pipeline (timeout retransmit on UDP; TCP is reliable).
 //!
 //! Both sides derive every key from (`--seed`, `--n`), so no state is
 //! exchanged out of band — start a server in one terminal and point the
 //! load generator at it from another:
 //!
 //! ```text
-//! brokerd --listen 127.0.0.1:7701 --n 64 --duration 30
+//! brokerd --listen 127.0.0.1:7701 --n 64 --duration 30 --workers 4
 //! brokerd --connect 127.0.0.1:7701 --n 64 --clients 4 --burst 100
 //! ```
 
+use cellbricks_bench::{arg_flag, arg_str, arg_u64};
 use cellbricks_core::broker_server::{
-    self, build_requests, population, run_client, ClientConfig, ServeConfig,
+    self, build_requests, population, run_client, run_client_tcp, ClientConfig, ServeConfig,
 };
 use cellbricks_sim::SimRng;
 use cellbricks_telemetry as telemetry;
-use std::net::UdpSocket;
+use std::net::{TcpListener, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-fn arg_str(flag: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn serve_mode(listen: &str, seed: u64, n_ues: usize, duration_s: u64) {
+fn serve_mode(listen: &str, seed: u64, n_ues: usize, duration_s: u64, workers: usize, tcp: bool) {
     let pop = population(seed, n_ues);
-    let mut server = pop.server(SimRng::new(seed ^ 0x6b72_6f6b)); // grant rng, not key material
-    let sock = UdpSocket::bind(listen).expect("bind listen address");
-    println!(
-        "brokerd: serving {} subscribers on {} (seed {seed})",
-        server.subscriber_count(),
-        sock.local_addr().expect("local addr")
-    );
+    // Grant rng, not key material.
+    let mut server = pop.server_with_workers(SimRng::new(seed ^ 0x6b72_6f6b), workers);
     let stop = Arc::new(AtomicBool::new(false));
     if duration_s > 0 {
         let stop_timer = Arc::clone(&stop);
@@ -57,7 +48,27 @@ fn serve_mode(listen: &str, seed: u64, n_ues: usize, duration_s: u64) {
             stop_timer.store(true, Ordering::Relaxed);
         });
     }
-    broker_server::serve(&mut server, &sock, &stop, &ServeConfig::default()).expect("serve loop");
+    if tcp {
+        let listener = TcpListener::bind(listen).expect("bind listen address");
+        println!(
+            "brokerd: serving {} subscribers on tcp {} (seed {seed}, {} workers)",
+            server.subscriber_count(),
+            listener.local_addr().expect("local addr"),
+            server.workers(),
+        );
+        broker_server::serve_tcp(&mut server, &listener, &stop, &ServeConfig::default())
+            .expect("serve loop");
+    } else {
+        let sock = UdpSocket::bind(listen).expect("bind listen address");
+        println!(
+            "brokerd: serving {} subscribers on udp {} (seed {seed}, {} workers)",
+            server.subscriber_count(),
+            sock.local_addr().expect("local addr"),
+            server.workers(),
+        );
+        broker_server::serve(&mut server, &sock, &stop, &ServeConfig::default())
+            .expect("serve loop");
+    }
     let c = server.counters;
     println!(
         "brokerd: served {} auths · {} refused · {} bad frames · {} reports · {} batches",
@@ -72,8 +83,22 @@ fn serve_mode(listen: &str, seed: u64, n_ues: usize, duration_s: u64) {
             batch.max()
         );
     }
+    let wait = telemetry::histogram("brokerd.batch_wait_ns").snapshot();
+    if wait.count() > 0 {
+        println!(
+            "brokerd: batch wait p50 {} us p99 {} us · window {} us",
+            wait.value_at_quantile(0.50) / 1000,
+            wait.value_at_quantile(0.99) / 1000,
+            telemetry::gauge("brokerd.batch_window_ns").get() / 1000,
+        );
+    }
+    let util = server.worker_utilization_permille();
+    if !util.is_empty() {
+        println!("brokerd: worker utilization (permille): {util:?}");
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn loadgen_mode(
     connect: &str,
     seed: u64,
@@ -81,6 +106,7 @@ fn loadgen_mode(
     clients: usize,
     burst: usize,
     window: usize,
+    tcp: bool,
 ) {
     let server_addr = connect.parse().expect("server address");
     let pop = Arc::new(population(seed, n_ues));
@@ -89,7 +115,8 @@ fn loadgen_mode(
         "need at least one UE identity per client (--n >= --clients)"
     );
     println!(
-        "brokerd loadgen: {clients} clients x {burst} requests, window {window}, -> {server_addr}"
+        "brokerd loadgen: {clients} clients x {burst} requests, window {window}, -> {} {server_addr}",
+        if tcp { "tcp" } else { "udp" }
     );
     // Pre-build every request before the timed window opens: request
     // construction is real crypto and must not dilute the server rate.
@@ -114,17 +141,18 @@ fn loadgen_mode(
         .into_iter()
         .map(|(c, requests)| {
             std::thread::spawn(move || {
-                run_client(
-                    &ClientConfig {
-                        server: server_addr,
-                        window,
-                        retransmit_after: Duration::from_millis(500),
-                        deadline: Duration::from_secs(120),
-                        rtt_hist: format!("brokerd.loadgen.rtt_us.c{c}"),
-                    },
-                    &requests,
-                )
-                .expect("client socket")
+                let cfg = ClientConfig {
+                    server: server_addr,
+                    window,
+                    retransmit_after: Duration::from_millis(500),
+                    deadline: Duration::from_secs(120),
+                    rtt_hist: format!("brokerd.loadgen.rtt_us.c{c}"),
+                };
+                if tcp {
+                    run_client_tcp(&cfg, &requests).expect("client socket")
+                } else {
+                    run_client(&cfg, &requests).expect("client socket")
+                }
             })
         })
         .collect();
@@ -151,16 +179,18 @@ fn loadgen_mode(
 
 fn main() {
     cellbricks_bench::telemetry_init();
-    let seed = cellbricks_bench::arg_u64("--seed", 42);
-    let n_ues = cellbricks_bench::arg_u64("--n", 64) as usize;
+    let seed = arg_u64("--seed", 42);
+    let n_ues = arg_u64("--n", 64) as usize;
+    let tcp = arg_flag("--tcp");
     if let Some(connect) = arg_str("--connect") {
-        let clients = cellbricks_bench::arg_u64("--clients", 4) as usize;
-        let burst = cellbricks_bench::arg_u64("--burst", 100) as usize;
-        let window = cellbricks_bench::arg_u64("--window", 8) as usize;
-        loadgen_mode(&connect, seed, n_ues, clients, burst, window);
+        let clients = arg_u64("--clients", 4) as usize;
+        let burst = arg_u64("--burst", 100) as usize;
+        let window = arg_u64("--window", 8) as usize;
+        loadgen_mode(&connect, seed, n_ues, clients, burst, window, tcp);
     } else {
         let listen = arg_str("--listen").unwrap_or_else(|| "127.0.0.1:7701".to_string());
-        let duration_s = cellbricks_bench::arg_u64("--duration", 0);
-        serve_mode(&listen, seed, n_ues, duration_s);
+        let duration_s = arg_u64("--duration", 0);
+        let workers = arg_u64("--workers", broker_server::default_workers() as u64) as usize;
+        serve_mode(&listen, seed, n_ues, duration_s, workers, tcp);
     }
 }

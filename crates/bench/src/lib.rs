@@ -49,6 +49,21 @@ pub fn arg_u64(flag: &str, default: u64) -> u64 {
     arg_secs(flag, default)
 }
 
+/// Parse a `--listen <addr>` style flag with a string value.
+#[must_use]
+pub fn arg_str(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// True when a bare `--flag` is present in argv.
+#[must_use]
+pub fn arg_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
 /// The `CELLBRICKS_SHARDS` engine knob: how many shards the scale
 /// experiments split the topology into. Defaults to 1 — the legacy
 /// single-shard path whose figure output is diffed byte-for-byte in CI.

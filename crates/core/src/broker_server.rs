@@ -3,35 +3,40 @@
 //!
 //! The paper's central deployment claim (§3, §5) is that the broker
 //! "needs no cellular infrastructure" — it is an ordinary online service
-//! behind a socket, deployed like Magma's Orc8r in the cloud. This module
-//! is that service in miniature, and the SimBricks-style host/sim
-//! boundary for the repo: the same SAP protocol code the simulator runs
-//! ([`crate::sap`], [`crate::brokerd::BrokerWire`]) served over loopback
-//! UDP against the wall clock.
+//! behind a socket, deployed like Magma's Orc8r in the cloud, and it
+//! scales like one: across cores first, then across machines. This
+//! module is that service in miniature, structured as a **staged
+//! pipeline** so the crypto bill spreads over a pool of worker threads
+//! while the protocol semantics stay strictly sequential:
 //!
-//! Three layers, all allocation-conscious and `std`-only (no tokio — the
-//! registry is offline; readiness comes from the `polling` shim):
+//! * **I/O stage** ([`serve`] over UDP, [`serve_tcp`] over TCP): drain
+//!   the transport, frame + wire decode, and flush replies. Batch
+//!   boundaries come from an adaptive batch-window controller
+//!   ([`ServeConfig`]): a batch closes when it reaches `batch_target`
+//!   requests or when its age exceeds a window that is continuously
+//!   re-derived from the measured per-batch service time against a
+//!   reply-latency SLO — continuous-batching style, so the window widens
+//!   when the server is fast (buying bigger batches) and collapses when
+//!   service time already eats the SLO.
+//! * **Crypto workers** (a pool of W `std::thread`s inside
+//!   [`BrokerServer`], bounded channels, no tokio): the expensive,
+//!   *pure* phases — pooled [`open_batch`], cross-connection
+//!   [`verify_batch`], error attribution, and `broker_grant_batch`
+//!   sealing — run on contiguous sub-batches, scattered chunk-per-worker
+//!   and gathered back in arrival order.
+//! * **Decision stage** (sequential, on the caller's thread): anti-replay
+//!   nonce admission, session-id allocation, and all RNG draws happen in
+//!   arrival order between the two worker phases, so a replayed nonce
+//!   observes every earlier request of its own batch and replies are
+//!   byte-identical at any worker count (see below).
 //!
-//! * [`BrokerServer`] — the transport-agnostic request processor. Its
-//!   perf core is **cross-connection batch verification**: a whole
-//!   readiness batch of datagrams is decoded first, every request's
-//!   structural/policy prechecks run ([`sap::broker_precheck`]), and then
-//!   *all* pending signatures — three per request, across every client —
-//!   go through one [`verify_batch`] call. The Ed25519 batch equation
-//!   amortizes its doubling chain over the whole batch, so per-request
-//!   verify cost falls as offered load rises; the FIFO verifier-key
-//!   caches in `cellbricks-crypto` are process-global, hence shared
-//!   server-wide across connections by construction. Failures fall back
-//!   per-request (batch-of-3, then sequential) so error attribution is
-//!   bit-identical to the simulated broker's.
-//! * [`serve`] — the nonblocking readiness loop over a [`UdpSocket`]:
-//!   wait for readability, drain datagrams until `WouldBlock` into
-//!   reusable buffers (so batch size grows with offered load), process
-//!   the batch, then write every reply in a single flush pass.
-//! * [`run_client`] — the load-generator client: pre-built requests
-//!   ([`build_requests`]), a bounded pipeline window, timeout-driven
-//!   retransmit, and per-request latency recorded into a telemetry
-//!   histogram.
+//! **Determinism.** Grant replies consume randomness only through
+//! [`sap::grant_draws`], which the decision stage runs sequentially in
+//! grant order; workers get pre-drawn material and do only pure curve
+//! math ([`sap::broker_grant_batch_prepared`]). Batch field inversions
+//! compute the same (value-unique) inverses under any sub-batching, and
+//! Ed25519 signing is deterministic — so W=1, W=4 and the inline path
+//! produce byte-identical replies, and every replay gate keeps passing.
 //!
 //! What is and is not shared with the sim-side [`crate::brokerd::Brokerd`]
 //! is deliberate: the wire format ([`BrokerWire`]), the protocol core
@@ -49,14 +54,16 @@ use cellbricks_crypto::cert::CertificateAuthority;
 use cellbricks_crypto::ed25519::{verify_batch, BatchItem, VerifyingKey};
 use cellbricks_crypto::sealed::open_batch;
 use cellbricks_crypto::x25519::X25519PublicKey;
-use cellbricks_net::wire::{frame, unframe};
+use cellbricks_net::wire::{frame, read_frame, unframe, write_frame};
 use cellbricks_sim::SimRng;
 use cellbricks_telemetry as telemetry;
 use polling::Poller;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
-use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// The canonical broker name every helper in this module provisions
@@ -96,17 +103,35 @@ pub struct WireCounters {
     pub batches: u64,
 }
 
+/// Pick the worker count: `CELLBRICKS_BROKERD_WORKERS` if set, else
+/// `available_parallelism - 1` (one core reserved for the I/O stage),
+/// clamped to 1..=8. On a single-core box this is 1 — the byte-identical
+/// baseline — so deterministic results never depend on the machine.
+#[must_use]
+pub fn default_workers() -> usize {
+    if let Some(w) = std::env::var("CELLBRICKS_BROKERD_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return w;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get().saturating_sub(1).clamp(1, 8))
+        .unwrap_or(1)
+}
+
 /// The transport-agnostic `brokerd` request processor: subscriber DB,
-/// bounded anti-replay window, session-id allocator, and the
-/// cross-connection batched verify path.
+/// bounded anti-replay window, session-id allocator, and the scatter /
+/// gather front of the crypto worker pool.
 pub struct BrokerServer {
-    cfg: BrokerServerConfig,
-    subscribers: HashMap<Identity, SubscriberRecord>,
+    cfg: Arc<BrokerServerConfig>,
+    subscribers: Arc<HashMap<Identity, SubscriberRecord>>,
     seen_nonces: HashSet<[u8; 16]>,
     nonce_order: VecDeque<[u8; 16]>,
     next_session: u64,
     next_alias: u64,
     rng: SimRng,
+    pool: Option<CryptoPool>,
     /// Server-loop counters (also exported as telemetry).
     pub counters: WireCounters,
     /// Scratch reused across batches: decoded requests awaiting verify.
@@ -120,21 +145,320 @@ struct PendingAuth {
     req: AuthReqT,
 }
 
+/// Verdict of the parallel check stage for one request: everything the
+/// sequential decision stage needs, minus the anti-replay call it must
+/// make itself in arrival order.
+enum Checked {
+    /// Signatures verified and policy passed; awaiting nonce admission.
+    Authorized(sap::AuthVec, SubscriberEntry),
+    /// Refused, with the exact [`sap::SapError`] code already attributed.
+    Refused(u8),
+}
+
+/// One authorized request between the decision stage and its grant.
+struct GrantItem {
+    idx: usize,
+    vec: sap::AuthVec,
+    entry: SubscriberEntry,
+    session_id: u64,
+}
+
+/// Owned grant work shipped to a crypto worker (the borrow-based
+/// [`sap::GrantJob`] is rebuilt worker-side).
+struct GrantWork {
+    req: AuthReqT,
+    vec: sap::AuthVec,
+    entry: SubscriberEntry,
+    session_id: u64,
+}
+
+/// Never split a batch below this many requests per chunk: tiny chunks
+/// pay scatter overhead without amortizing anything. With W=1 the chunk
+/// length is always ≥ the whole batch, so a single-worker pipeline runs
+/// the exact same pooled calls as the inline path.
+const MIN_CHUNK: usize = 4;
+
+/// Per-worker job-queue bound. A scatter sends at most one chunk per
+/// worker, so a small bound suffices; it exists to make any future
+/// misuse (flooding the pool without gathering) fail loudly by blocking.
+const POOL_QUEUE_BOUND: usize = 8;
+
+/// One granted request's output: the reply to seal onto the wire, the
+/// QoS the broker recorded, and the session secret.
+type GrantOut = (sap::BrokerReply, sap::QosInfo, [u8; 32]);
+
+enum PoolJob {
+    Check {
+        cfg: Arc<BrokerServerConfig>,
+        subs: Arc<HashMap<Identity, SubscriberRecord>>,
+        reqs: Vec<AuthReqT>,
+        chunk: usize,
+        tx: mpsc::Sender<(usize, Vec<Checked>)>,
+    },
+    Grant {
+        cfg: Arc<BrokerServerConfig>,
+        work: Vec<GrantWork>,
+        draws: Vec<sap::GrantDraws>,
+        chunk: usize,
+        tx: mpsc::Sender<(usize, Vec<GrantOut>)>,
+    },
+}
+
+/// The crypto worker pool: W persistent threads, one bounded job channel
+/// each. Chunk i of a scatter goes to worker i, results are gathered by
+/// chunk index — arrival order is preserved by construction.
+struct CryptoPool {
+    txs: Vec<mpsc::SyncSender<PoolJob>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    busy_ns: Vec<Arc<AtomicU64>>,
+    util_gauges: Vec<telemetry::Gauge>,
+    queued: Arc<AtomicUsize>,
+    started: Instant,
+}
+
+impl CryptoPool {
+    fn new(workers: usize) -> Self {
+        let queued = Arc::new(AtomicUsize::new(0));
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        let mut busy_ns = Vec::with_capacity(workers);
+        let mut util_gauges = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = mpsc::sync_channel::<PoolJob>(POOL_QUEUE_BOUND);
+            let busy = Arc::new(AtomicU64::new(0));
+            let busy2 = Arc::clone(&busy);
+            let queued2 = Arc::clone(&queued);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("brokerd-crypto-{i}"))
+                    .spawn(move || crypto_worker(&rx, &busy2, &queued2))
+                    .expect("spawn crypto worker"),
+            );
+            txs.push(tx);
+            busy_ns.push(busy);
+            util_gauges.push(telemetry::gauge(format!("brokerd.worker{i}.util_permille")));
+        }
+        Self {
+            txs,
+            handles,
+            busy_ns,
+            util_gauges,
+            queued,
+            started: Instant::now(),
+        }
+    }
+
+    fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Busy-time share of each worker since pool start, in permille.
+    fn utilization_permille(&self) -> Vec<u64> {
+        let wall = (self.started.elapsed().as_nanos() as u64).max(1);
+        self.busy_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed) * 1000 / wall)
+            .collect()
+    }
+
+    fn publish_util(&self) {
+        for (util, gauge) in self.utilization_permille().iter().zip(&self.util_gauges) {
+            gauge.set(*util as i64);
+        }
+    }
+}
+
+impl Drop for CryptoPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends each worker's recv loop.
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn crypto_worker(rx: &mpsc::Receiver<PoolJob>, busy: &AtomicU64, queued: &AtomicUsize) {
+    while let Ok(job) = rx.recv() {
+        let t0 = Instant::now();
+        match job {
+            PoolJob::Check {
+                cfg,
+                subs,
+                reqs,
+                chunk,
+                tx,
+            } => {
+                let out = check_chunk(&cfg, &subs, &reqs);
+                let _ = tx.send((chunk, out));
+            }
+            PoolJob::Grant {
+                cfg,
+                work,
+                draws,
+                chunk,
+                tx,
+            } => {
+                let jobs: Vec<sap::GrantJob<'_>> = work
+                    .iter()
+                    .map(|g| sap::GrantJob {
+                        req: &g.req,
+                        vec: &g.vec,
+                        entry: &g.entry,
+                        session_id: g.session_id,
+                    })
+                    .collect();
+                let out = sap::broker_grant_batch_prepared(&cfg.keys, &jobs, &draws);
+                let _ = tx.send((chunk, out));
+            }
+        }
+        busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        queued.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn lookup_in(subs: &HashMap<Identity, SubscriberRecord>, id: Identity) -> Option<SubscriberEntry> {
+    subs.get(&id).map(|rec| SubscriberEntry {
+        sign_pk: rec.sign_pk,
+        encrypt_pk: rec.encrypt_pk,
+        plan_mbr_bps: rec.plan_mbr_bps,
+        suspect: false,
+        alias: rec.alias,
+        lawful_intercept: false,
+    })
+}
+
+/// Exact error attribution via the seed-order sequential checks — the
+/// same path the simulated broker falls back to. Pure with respect to
+/// server state, so it runs inside worker chunks.
+fn attribute_failure(
+    cfg: &BrokerServerConfig,
+    subs: &HashMap<Identity, SubscriberRecord>,
+    req: &AuthReqT,
+) -> u8 {
+    match sap::broker_authenticate_sequential(
+        &cfg.keys,
+        &cfg.ca,
+        req,
+        &|id| lookup_in(subs, id),
+        &|_| true,
+    ) {
+        // Unreachable in practice (precheck/verify failed), but if the
+        // sequential path accepts, refusing would be wrong — report the
+        // one error that cannot mint a session here.
+        Ok(_) => sap::SapError::PolicyRefused as u8,
+        Err(e) => e as u8,
+    }
+}
+
+/// The pure check stage over one chunk of decoded requests: structural /
+/// policy prechecks with the expensive unseals pooled into one
+/// [`open_batch`], then one pooled [`verify_batch`] spanning the chunk,
+/// with per-request fallback and exact attribution on failure. No server
+/// state is read or written — chunks from the same batch can run on any
+/// threads in any order and gather to the same verdicts.
+fn check_chunk<T: std::borrow::Borrow<AuthReqT>>(
+    cfg: &BrokerServerConfig,
+    subs: &HashMap<Identity, SubscriberRecord>,
+    reqs: &[T],
+) -> Vec<Checked> {
+    let pre: Vec<Option<Identity>> = reqs
+        .iter()
+        .map(|r| sap::broker_precheck_pre_open(&cfg.keys, r.borrow()))
+        .collect();
+    let boxes: Vec<&cellbricks_crypto::SealedBox> = reqs
+        .iter()
+        .zip(&pre)
+        .filter(|(_, id_t)| id_t.is_some())
+        .map(|(r, _)| &r.borrow().req_u.sealed_vec)
+        .collect();
+    let mut opened = open_batch(&cfg.keys.encrypt, &boxes).into_iter();
+    let self_id = cfg.keys.identity();
+    let prechecked: Vec<Option<(sap::AuthVec, SubscriberEntry, sap::AuthBatchMaterial)>> = reqs
+        .iter()
+        .zip(&pre)
+        .map(|(r, pre_id)| {
+            let id_t = (*pre_id)?;
+            let vec_bytes = opened.next().expect("one open per precheck").ok()?;
+            sap::broker_precheck_post_open(
+                self_id,
+                &cfg.ca,
+                r.borrow(),
+                id_t,
+                &vec_bytes,
+                &|id| lookup_in(subs, id),
+                &|_| true,
+            )
+        })
+        .collect();
+
+    // One pooled verify across the whole chunk; a failed pool degrades
+    // per-request (batch-of-3, then sequential attribution), preserving
+    // exact error codes.
+    let pooled_ok = {
+        let items: Vec<BatchItem<'_>> = prechecked
+            .iter()
+            .flatten()
+            .flat_map(|(_, _, material)| material.items())
+            .collect();
+        verify_batch(&items)
+    };
+    reqs.iter()
+        .zip(prechecked)
+        .map(|(r, checked)| match checked {
+            Some((vec, entry, material)) => {
+                if pooled_ok || verify_batch(&material.items()) {
+                    Checked::Authorized(vec, entry)
+                } else {
+                    Checked::Refused(attribute_failure(cfg, subs, r.borrow()))
+                }
+            }
+            None => Checked::Refused(attribute_failure(cfg, subs, r.borrow())),
+        })
+        .collect()
+}
+
 impl BrokerServer {
-    /// A fresh server with an empty subscriber DB.
+    /// A fresh server with an empty subscriber DB and no worker pool:
+    /// every phase runs inline on the calling thread (the PR 9 shape,
+    /// still the simplest thing to unit-test against).
     #[must_use]
     pub fn new(cfg: BrokerServerConfig, rng: SimRng) -> Self {
+        Self::with_workers(cfg, rng, 0)
+    }
+
+    /// A fresh server backed by a pool of `workers` crypto threads
+    /// (0 = inline). Replies are byte-identical at any worker count —
+    /// parallelism changes only where the pure phases execute.
+    #[must_use]
+    pub fn with_workers(cfg: BrokerServerConfig, rng: SimRng, workers: usize) -> Self {
         Self {
-            cfg,
-            subscribers: HashMap::new(),
+            cfg: Arc::new(cfg),
+            subscribers: Arc::new(HashMap::new()),
             seen_nonces: HashSet::new(),
             nonce_order: VecDeque::new(),
             next_session: 1,
             next_alias: 1,
             rng,
+            pool: (workers > 0).then(|| CryptoPool::new(workers)),
             counters: WireCounters::default(),
             pending: Vec::new(),
         }
+    }
+
+    /// Number of crypto workers (0 = inline processing).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, CryptoPool::workers)
+    }
+
+    /// Busy-share of each crypto worker since startup, in permille of
+    /// wall time. Empty for an inline server.
+    #[must_use]
+    pub fn worker_utilization_permille(&self) -> Vec<u64> {
+        self.pool
+            .as_ref()
+            .map_or_else(Vec::new, CryptoPool::utilization_permille)
     }
 
     /// Provision a subscriber (same contract as the simulated broker).
@@ -147,7 +471,7 @@ impl BrokerServer {
     ) {
         let alias = self.next_alias;
         self.next_alias += 1;
-        self.subscribers.insert(
+        Arc::make_mut(&mut self.subscribers).insert(
             id,
             SubscriberRecord {
                 sign_pk,
@@ -184,15 +508,126 @@ impl BrokerServer {
         telemetry::counter("core.brokerd.bad_frames").inc();
     }
 
+    /// The check stage: inline for a pool-less server, otherwise
+    /// scattered in contiguous chunks (chunk i → worker i) and gathered
+    /// back by chunk index, i.e. in arrival order.
+    fn run_checks(&self, pending: &[PendingAuth]) -> Vec<Checked> {
+        if pending.is_empty() {
+            return Vec::new();
+        }
+        let Some(pool) = &self.pool else {
+            let reqs: Vec<&AuthReqT> = pending.iter().map(|p| &p.req).collect();
+            return check_chunk(&self.cfg, &self.subscribers, &reqs);
+        };
+        let w = pool.workers();
+        let chunk_len = pending.len().div_ceil(w).max(MIN_CHUNK);
+        let (tx, rx) = mpsc::channel();
+        let mut sent = 0usize;
+        for (ci, slice) in pending.chunks(chunk_len).enumerate() {
+            pool.queued.fetch_add(1, Ordering::Relaxed);
+            pool.txs[ci % w]
+                .send(PoolJob::Check {
+                    cfg: Arc::clone(&self.cfg),
+                    subs: Arc::clone(&self.subscribers),
+                    reqs: slice.iter().map(|p| p.req.clone()).collect(),
+                    chunk: ci,
+                    tx: tx.clone(),
+                })
+                .expect("crypto worker alive");
+            sent += 1;
+        }
+        drop(tx);
+        telemetry::histogram("brokerd.queue_depth")
+            .record(pool.queued.load(Ordering::Relaxed) as u64);
+        let mut parts: Vec<Vec<Checked>> = (0..sent).map(|_| Vec::new()).collect();
+        for _ in 0..sent {
+            let (ci, out) = rx.recv().expect("crypto worker reply");
+            parts[ci] = out;
+        }
+        pool.publish_util();
+        parts.into_iter().flatten().collect()
+    }
+
+    /// The grant stage against pre-drawn RNG material: inline without a
+    /// pool, scattered/gathered with one. Each chunk pools its own seal
+    /// and signature inversions; the result is byte-identical to one big
+    /// [`sap::broker_grant_batch`] under the same rng.
+    fn run_grants(
+        &self,
+        pending: &[PendingAuth],
+        granted: Vec<GrantItem>,
+        draws: Vec<sap::GrantDraws>,
+    ) -> Vec<GrantOut> {
+        if granted.is_empty() {
+            return Vec::new();
+        }
+        let Some(pool) = &self.pool else {
+            let jobs: Vec<sap::GrantJob<'_>> = granted
+                .iter()
+                .map(|g| sap::GrantJob {
+                    req: &pending[g.idx].req,
+                    vec: &g.vec,
+                    entry: &g.entry,
+                    session_id: g.session_id,
+                })
+                .collect();
+            return sap::broker_grant_batch_prepared(&self.cfg.keys, &jobs, &draws);
+        };
+        let w = pool.workers();
+        let chunk_len = granted.len().div_ceil(w).max(MIN_CHUNK);
+        let (tx, rx) = mpsc::channel();
+        let mut items = granted.into_iter().zip(draws);
+        let mut sent = 0usize;
+        loop {
+            let pairs: Vec<_> = items.by_ref().take(chunk_len).collect();
+            if pairs.is_empty() {
+                break;
+            }
+            let mut work = Vec::with_capacity(pairs.len());
+            let mut chunk_draws = Vec::with_capacity(pairs.len());
+            for (g, d) in pairs {
+                work.push(GrantWork {
+                    req: pending[g.idx].req.clone(),
+                    vec: g.vec,
+                    entry: g.entry,
+                    session_id: g.session_id,
+                });
+                chunk_draws.push(d);
+            }
+            pool.queued.fetch_add(1, Ordering::Relaxed);
+            pool.txs[sent % w]
+                .send(PoolJob::Grant {
+                    cfg: Arc::clone(&self.cfg),
+                    work,
+                    draws: chunk_draws,
+                    chunk: sent,
+                    tx: tx.clone(),
+                })
+                .expect("crypto worker alive");
+            sent += 1;
+        }
+        drop(tx);
+        telemetry::histogram("brokerd.queue_depth")
+            .record(pool.queued.load(Ordering::Relaxed) as u64);
+        let mut parts: Vec<Vec<_>> = (0..sent).map(|_| Vec::new()).collect();
+        for _ in 0..sent {
+            let (ci, out) = rx.recv().expect("crypto worker reply");
+            parts[ci] = out;
+        }
+        parts.into_iter().flatten().collect()
+    }
+
     /// Process one readiness batch of raw datagrams. Each entry is
     /// `(client slot, datagram bytes)`; replies are appended to `out` as
     /// `(client slot, framed reply bytes)` for the caller's flush pass.
     ///
-    /// The batch is processed in three phases — decode everything, run
-    /// every precheck, then verify **all** pending signatures in one
-    /// Ed25519 batch spanning every client — so signature cost amortizes
-    /// across connections. A failed pooled batch degrades per-request
-    /// (batch-of-3, then sequential) preserving exact error attribution.
+    /// Pipeline phases: decode (sequential) → check (workers: pooled
+    /// open + cross-connection verify + attribution) → decide
+    /// (sequential: anti-replay in arrival order, session ids, RNG
+    /// draws) → grant (workers: pooled seal + sign) → emit (sequential,
+    /// arrival order). The call is synchronous — when it returns, every
+    /// reply for the batch is in `out`, which is what makes shutdown
+    /// drain-safe by construction.
     pub fn process_batch(&mut self, datagrams: &[(usize, &[u8])], out: &mut Vec<(usize, Vec<u8>)>) {
         // Touch the error counter so it registers (at 0) in clean runs.
         let _ = telemetry::counter("core.brokerd.bad_frames");
@@ -228,52 +663,11 @@ impl BrokerServer {
         }
         telemetry::histogram("brokerd.batch_size").record(pending.len() as u64);
 
-        // Phase 2: structural/policy prechecks, collecting batch
-        // material. The expensive unseal of every request's authVec is
-        // pooled into one `open_batch` so the per-open field inversions
-        // collapse into a single shared inversion across the batch.
-        let pre: Vec<Option<Identity>> = pending
-            .iter()
-            .map(|p| sap::broker_precheck_pre_open(&self.cfg.keys, &p.req))
-            .collect();
-        let boxes: Vec<&cellbricks_crypto::SealedBox> = pending
-            .iter()
-            .zip(&pre)
-            .filter(|(_, id_t)| id_t.is_some())
-            .map(|(p, _)| &p.req.req_u.sealed_vec)
-            .collect();
-        let mut opened = open_batch(&self.cfg.keys.encrypt, &boxes).into_iter();
-        let self_id = self.cfg.keys.identity();
-        let prechecked: Vec<Option<(sap::AuthVec, SubscriberEntry, sap::AuthBatchMaterial)>> =
-            pending
-                .iter()
-                .zip(&pre)
-                .map(|(p, pre_id)| {
-                    let id_t = (*pre_id)?;
-                    let vec_bytes = opened.next().expect("one open per precheck").ok()?;
-                    sap::broker_precheck_post_open(
-                        self_id,
-                        &self.cfg.ca,
-                        &p.req,
-                        id_t,
-                        &vec_bytes,
-                        &|id| self.lookup(id),
-                        &|_| true,
-                    )
-                })
-                .collect();
+        // Phase 2: the parallel check stage (prechecks, pooled open,
+        // cross-connection verify, attribution) — pure, so it scatters.
+        let checked = self.run_checks(&pending);
 
-        // Phase 3: one pooled verify across every connection's requests.
-        let pooled_ok = {
-            let items: Vec<BatchItem<'_>> = prechecked
-                .iter()
-                .flatten()
-                .flat_map(|(_, _, material)| material.items())
-                .collect();
-            verify_batch(&items)
-        };
-
-        // Phase 4a: decide each request in arrival order — nonce replay
+        // Phase 3: decide each request in arrival order — nonce replay
         // checks must observe earlier requests of the same batch — and
         // stage the authorized grants.
         enum Outcome {
@@ -281,52 +675,38 @@ impl BrokerServer {
             Refuse(u8),
         }
         let mut outcomes: Vec<(usize, u64, Outcome)> = Vec::with_capacity(pending.len());
-        let mut granted: Vec<(usize, sap::AuthVec, SubscriberEntry, u64)> = Vec::new();
-        for (i, (p, checked)) in pending.iter().zip(prechecked).enumerate() {
-            match checked {
-                Some((vec, entry, material)) => {
-                    let verified = pooled_ok || verify_batch(&material.items());
-                    if verified {
-                        if self.insert_nonce(vec.nonce) {
-                            let session_id = self.next_session;
-                            self.next_session += 1;
-                            granted.push((i, vec, entry, session_id));
-                            outcomes.push((p.slot, p.req_id, Outcome::Grant));
-                        } else {
-                            let code = sap::SapError::NonceMismatch as u8;
-                            outcomes.push((p.slot, p.req_id, Outcome::Refuse(code)));
-                        }
+        let mut granted: Vec<GrantItem> = Vec::new();
+        for (i, (p, chk)) in pending.iter().zip(checked).enumerate() {
+            match chk {
+                Checked::Authorized(vec, entry) => {
+                    if self.insert_nonce(vec.nonce) {
+                        let session_id = self.next_session;
+                        self.next_session += 1;
+                        granted.push(GrantItem {
+                            idx: i,
+                            vec,
+                            entry,
+                            session_id,
+                        });
+                        outcomes.push((p.slot, p.req_id, Outcome::Grant));
                     } else {
-                        // Some signature in this request is bad; the
-                        // sequential path names which one.
-                        let code = self.attribute_failure(&p.req);
+                        let code = sap::SapError::NonceMismatch as u8;
                         outcomes.push((p.slot, p.req_id, Outcome::Refuse(code)));
                     }
                 }
-                None => {
-                    let code = self.attribute_failure(&p.req);
+                Checked::Refused(code) => {
                     outcomes.push((p.slot, p.req_id, Outcome::Refuse(code)));
                 }
             }
         }
 
-        // Phase 4b: grant every authorized request at once, pooling the
-        // seal and signature field inversions across the batch. Replies
-        // are byte-identical to per-request `broker_grant` (same rng
-        // draws, same order).
-        let jobs: Vec<sap::GrantJob<'_>> = granted
-            .iter()
-            .map(|(i, vec, entry, session_id)| sap::GrantJob {
-                req: &pending[*i].req,
-                vec,
-                entry,
-                session_id: *session_id,
-            })
-            .collect();
-        let replies = sap::broker_grant_batch(&self.cfg.keys, &jobs, &mut self.rng);
-        drop(jobs);
+        // Phase 4: all RNG material is drawn here, sequentially, in
+        // grant order — workers then do only pure curve math, which is
+        // what keeps replies byte-identical at any worker count.
+        let draws = sap::grant_draws(&mut self.rng, granted.len());
+        let replies = self.run_grants(&pending, granted, draws);
 
-        // Phase 4c: emit replies and refusals in arrival order.
+        // Phase 5: emit replies and refusals in arrival order.
         let mut replies = replies.into_iter();
         for (slot, req_id, outcome) in outcomes {
             match outcome {
@@ -338,35 +718,6 @@ impl BrokerServer {
             }
         }
         self.pending = pending;
-    }
-
-    fn lookup(&self, id: Identity) -> Option<SubscriberEntry> {
-        self.subscribers.get(&id).map(|rec| SubscriberEntry {
-            sign_pk: rec.sign_pk,
-            encrypt_pk: rec.encrypt_pk,
-            plan_mbr_bps: rec.plan_mbr_bps,
-            suspect: false,
-            alias: rec.alias,
-            lawful_intercept: false,
-        })
-    }
-
-    /// Exact error attribution via the seed-order sequential checks —
-    /// the same path the simulated broker falls back to.
-    fn attribute_failure(&mut self, req: &AuthReqT) -> u8 {
-        match sap::broker_authenticate_sequential(
-            &self.cfg.keys,
-            &self.cfg.ca,
-            req,
-            &|id| self.lookup(id),
-            &|_| true,
-        ) {
-            // Unreachable in practice (precheck/verify failed), but if
-            // the sequential path accepts, refusing would be wrong —
-            // report the one error that cannot mint a session here.
-            Ok(_) => sap::SapError::PolicyRefused as u8,
-            Err(e) => e as u8,
-        }
     }
 
     fn push_ok(&mut self, out: &mut Vec<(usize, Vec<u8>)>, slot: usize, req_id: u64, reply: Bytes) {
@@ -382,22 +733,30 @@ impl BrokerServer {
     }
 }
 
-/// Tuning for the [`serve`] readiness loop.
+/// Tuning for the serve loops ([`serve`], [`serve_tcp`]): the adaptive
+/// batch-window controller.
+///
+/// A batch closes when it reaches `batch_target` requests or when its
+/// age exceeds the current window. The window is re-derived after every
+/// batch as `clamp(slo − service_ewma, window_min, window_max)` — the
+/// slack the SLO leaves after the (smoothed) measured service time. When
+/// the server is fast the window widens, buying bigger batches per
+/// wakeup (better verify amortization); when batches already take the
+/// whole SLO to serve, the window collapses to `window_min` and the loop
+/// degenerates to drain-and-go.
 pub struct ServeConfig {
     /// Readiness-wait slice between checks of the stop flag.
     pub wait_timeout: Duration,
-    /// Maximum datagrams drained per wakeup (bounds reply latency and
-    /// the receive arena).
+    /// Hard cap on datagrams per batch (bounds the receive arena).
     pub max_batch: usize,
-    /// Consecutive dry drain passes (each preceded by a scheduler yield)
-    /// tolerated before the gathered batch is processed. The readiness
-    /// wakeup fires on the *first* datagram, typically before the peers
-    /// that became runnable during the previous batch have sent theirs —
-    /// on a single core the batch would otherwise collapse to size 1.
-    /// Yielding hands them the core; clients that have nothing to send
-    /// are blocked on their own sockets, so a dry pass costs well under
-    /// a microsecond.
-    pub gather_yields: u32,
+    /// Close the batch early once it holds this many messages.
+    pub batch_target: usize,
+    /// Reply-latency budget the window controller works against.
+    pub slo: Duration,
+    /// Window floor: never adapt below this.
+    pub window_min: Duration,
+    /// Window ceiling: never hold a batch open longer than this.
+    pub window_max: Duration,
 }
 
 impl Default for ServeConfig {
@@ -405,21 +764,78 @@ impl Default for ServeConfig {
         Self {
             wait_timeout: Duration::from_millis(20),
             max_batch: 1024,
-            gather_yields: 3,
+            batch_target: 64,
+            slo: Duration::from_micros(600),
+            window_min: Duration::from_micros(20),
+            window_max: Duration::from_micros(250),
         }
+    }
+}
+
+/// EWMA smoothing for the measured per-batch service time.
+const SERVICE_EWMA_ALPHA: f64 = 0.25;
+
+/// Shortest kernel wait the gather loop will request: sub-microsecond
+/// read timeouts risk truncating to a zero timeval (= block forever).
+const MIN_POLL: Duration = Duration::from_micros(10);
+
+/// Consecutive dry gather passes (each separated by a `yield_now`) after
+/// which the UDP loop closes the batch before the window expires. A dry
+/// socket that stays dry across several yields means nothing is in
+/// flight — holding the batch open buys no amortization, only latency
+/// (continuous batching dispatches when the queue empties). The yields
+/// matter on a single core: they are what hand peers the CPU to enqueue
+/// the next datagram before the verdict is final.
+const DRY_SPINS: u32 = 4;
+
+/// The adaptive batch-window state shared by both serve loops.
+struct BatchWindow {
+    service_ewma_ns: f64,
+    window: Duration,
+}
+
+impl BatchWindow {
+    fn new(cfg: &ServeConfig) -> Self {
+        Self {
+            service_ewma_ns: 0.0,
+            window: cfg.window_max,
+        }
+    }
+
+    /// Fold one measured batch service time into the EWMA and re-derive
+    /// the window from the SLO slack.
+    fn observe(&mut self, service: Duration, cfg: &ServeConfig) {
+        let s = service.as_nanos() as f64;
+        self.service_ewma_ns = if self.service_ewma_ns == 0.0 {
+            s
+        } else {
+            SERVICE_EWMA_ALPHA * s + (1.0 - SERVICE_EWMA_ALPHA) * self.service_ewma_ns
+        };
+        let slack = (cfg.slo.as_nanos() as f64 - self.service_ewma_ns).max(0.0);
+        self.window = Duration::from_nanos(slack as u64).clamp(cfg.window_min, cfg.window_max);
+        telemetry::gauge("brokerd.batch_window_ns").set(self.window.as_nanos() as i64);
     }
 }
 
 /// Per-datagram receive-buffer size. Any legitimate control-plane frame
 /// fits with a wide margin; a larger datagram is truncated by the kernel
-/// and then rejected by [`unframe`] as a bad frame.
+/// and then rejected by [`unframe`] as a bad frame. (The TCP transport
+/// has no such cap — frames up to `MAX_FRAME_LEN` stream through
+/// [`read_frame`].)
 const RECV_BUF_LEN: usize = 8 * 1024;
 
-/// The nonblocking readiness loop: wait for readability, drain the
-/// socket until `WouldBlock` into reusable buffers (one arena slot per
-/// datagram, grown once and reused forever), process the whole batch
-/// through [`BrokerServer::process_batch`], then write every reply in a
-/// single flush pass. Runs until `stop` is set.
+/// The UDP I/O stage: wait for readability, gather a batch under the
+/// adaptive window (drain until dry, then yield-spin for the window
+/// remainder, closing early after [`DRY_SPINS`] consecutive empty
+/// passes), process the whole batch through
+/// [`BrokerServer::process_batch`], then write every reply in a single
+/// flush pass. Runs until `stop` is set; a gathered batch is always
+/// fully processed and flushed before the flag is honored.
+///
+/// The in-window wait is a spin rather than a timed kernel read:
+/// `SO_RCVTIMEO` rounds sub-millisecond timeouts up to a scheduler tick
+/// (≈4 ms at HZ=250) — an order of magnitude longer than the whole
+/// window, which would serialize ping-pong clients at tick granularity.
 ///
 /// # Errors
 /// Any socket error other than the would-block/timed-out family.
@@ -436,20 +852,19 @@ pub fn serve(
     let mut arena: Vec<Vec<u8>> = Vec::new();
     let mut meta: Vec<(usize, usize)> = Vec::new(); // (slot, len) per datagram
     let mut replies: Vec<(usize, Vec<u8>)> = Vec::new();
+    let mut win = BatchWindow::new(cfg);
+    let wait_hist = telemetry::histogram("brokerd.batch_wait_ns");
 
     while !stop.load(Ordering::Relaxed) {
         if !poller.wait_readable(sock, Some(cfg.wait_timeout))? {
             continue;
         }
-        // Gather a batch: drain until WouldBlock, then yield the core a
-        // few times and drain again so peers that were about to send get
-        // to enqueue theirs. Batch size grows with offered load, which
-        // is exactly what amortizes the signature and syscall costs
-        // downstream.
+        let opened = Instant::now();
         meta.clear();
-        let mut dry_passes = 0u32;
-        'gather: while meta.len() < cfg.max_batch {
+        let mut dry_spins = 0u32;
+        loop {
             let before = meta.len();
+            // Drain until dry or full.
             while meta.len() < cfg.max_batch {
                 if arena.len() == meta.len() {
                     arena.push(vec![0u8; RECV_BUF_LEN]);
@@ -468,23 +883,28 @@ pub fn serve(
                     Err(e) => return Err(e),
                 }
             }
+            if meta.len() >= cfg.batch_target || meta.len() >= cfg.max_batch {
+                break;
+            }
+            let age = opened.elapsed();
+            if age >= win.window {
+                break;
+            }
             if meta.len() > before {
-                dry_passes = 0;
-            } else {
-                // Spurious wakeup (no datagram at all): back to waiting.
-                if meta.is_empty() {
-                    break 'gather;
-                }
-                dry_passes += 1;
-                if dry_passes > cfg.gather_yields {
-                    break 'gather;
-                }
+                dry_spins = 0; // still arriving — keep gathering
+                continue;
+            }
+            dry_spins += 1;
+            if dry_spins >= DRY_SPINS {
+                break; // nothing in flight: dispatch what we have
             }
             std::thread::yield_now();
         }
         if meta.is_empty() {
-            continue;
+            continue; // spurious wakeup
         }
+        wait_hist.record(opened.elapsed().as_nanos() as u64);
+        let t0 = Instant::now();
         let datagrams: Vec<(usize, &[u8])> = meta
             .iter()
             .enumerate()
@@ -496,6 +916,7 @@ pub fn serve(
         for (slot, bytes) in &replies {
             send_all(sock, bytes, peers[*slot])?;
         }
+        win.observe(t0.elapsed(), cfg);
     }
     Ok(())
 }
@@ -509,6 +930,184 @@ fn send_all(sock: &UdpSocket, bytes: &[u8], to: SocketAddr) -> io::Result<()> {
             Err(e) if polling::is_not_ready(&e) => std::thread::yield_now(),
             Err(e) => return Err(e),
         }
+    }
+}
+
+// ----- TCP stream transport -----
+
+/// What a TCP connection's reader thread reports to the serve loop.
+enum TcpEvent {
+    /// One complete frame, re-framed to the same bytes a datagram would
+    /// carry, so [`BrokerServer::process_batch`] runs one decode path.
+    Frame(usize, Vec<u8>),
+    /// The peer sent an oversized length prefix — protocol error; the
+    /// connection is dropped and the frame counted against `bad_frames`.
+    Bad(usize),
+    /// EOF or a transport error; the connection is gone.
+    Closed(usize),
+}
+
+/// Bound on buffered frames between the reader threads and the serve
+/// loop — backpressure: readers stop pulling from their sockets when the
+/// serve loop falls this far behind.
+const TCP_EVENT_BOUND: usize = 4096;
+
+/// The TCP I/O stage behind the same [`BrokerServer`] state machine:
+/// one blocking reader thread per accepted connection turns the byte
+/// stream into frames via [`read_frame`] (so requests bigger than any
+/// UDP datagram work end-to-end — the stream transport's whole point),
+/// the serve loop gathers frames across connections under the same
+/// adaptive batch window as [`serve`], and replies flush back on the
+/// accepting thread in arrival order.
+///
+/// An oversized length prefix surfaces as `InvalidData` in the reader,
+/// counts one bad frame, and drops the connection — the stream cannot be
+/// resynchronized after a framing violation.
+///
+/// # Errors
+/// Listener errors other than the would-block family.
+pub fn serve_tcp(
+    server: &mut BrokerServer,
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    cfg: &ServeConfig,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let (tx, rx) = mpsc::sync_channel::<TcpEvent>(TCP_EVENT_BOUND);
+    let mut conns: Vec<Option<TcpStream>> = Vec::new();
+    let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut batch: Vec<(usize, Vec<u8>)> = Vec::new();
+    let mut replies: Vec<(usize, Vec<u8>)> = Vec::new();
+    let mut win = BatchWindow::new(cfg);
+    let wait_hist = telemetry::histogram("brokerd.batch_wait_ns");
+
+    while !stop.load(Ordering::Relaxed) {
+        accept_pending(listener, &tx, &mut conns, &mut readers)?;
+        // Wait for the first frame of the next batch.
+        let first = match rx.recv_timeout(cfg.wait_timeout) {
+            Ok(ev) => ev,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break, // unreachable: tx held
+        };
+        let opened = Instant::now();
+        batch.clear();
+        handle_tcp_event(first, server, &mut conns, &mut batch);
+        loop {
+            // Drain whatever the readers already queued.
+            while batch.len() < cfg.max_batch {
+                match rx.try_recv() {
+                    Ok(ev) => handle_tcp_event(ev, server, &mut conns, &mut batch),
+                    Err(_) => break,
+                }
+            }
+            if batch.len() >= cfg.batch_target || batch.len() >= cfg.max_batch {
+                break;
+            }
+            let age = opened.elapsed();
+            if age >= win.window {
+                break;
+            }
+            match rx.recv_timeout((win.window - age).max(MIN_POLL)) {
+                Ok(ev) => handle_tcp_event(ev, server, &mut conns, &mut batch),
+                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        if batch.is_empty() {
+            continue; // only control events (bad frame / close) arrived
+        }
+        wait_hist.record(opened.elapsed().as_nanos() as u64);
+        let t0 = Instant::now();
+        let datagrams: Vec<(usize, &[u8])> = batch
+            .iter()
+            .map(|(slot, b)| (*slot, b.as_slice()))
+            .collect();
+        replies.clear();
+        server.process_batch(&datagrams, &mut replies);
+        for (slot, bytes) in &replies {
+            // Reply bytes are already length-prefixed frames (the exact
+            // bytes `write_frame` would emit — one framing for datagram
+            // and stream transports).
+            let ok = conns[*slot]
+                .as_mut()
+                .is_some_and(|stream| stream.write_all(bytes).is_ok());
+            if !ok {
+                conns[*slot] = None;
+            }
+        }
+        win.observe(t0.elapsed(), cfg);
+    }
+    // Unblock the reader threads (they sit in blocking reads), then reap.
+    for conn in conns.iter().flatten() {
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+    drop(rx);
+    for h in readers {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+/// Accept every connection currently queued on the (nonblocking)
+/// listener, spawning a blocking reader thread per connection.
+fn accept_pending(
+    listener: &TcpListener,
+    tx: &mpsc::SyncSender<TcpEvent>,
+    conns: &mut Vec<Option<TcpStream>>,
+    readers: &mut Vec<std::thread::JoinHandle<()>>,
+) -> io::Result<()> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let id = conns.len();
+                stream.set_nodelay(true).ok();
+                let mut read_half = stream.try_clone()?;
+                let tx = tx.clone();
+                readers.push(
+                    std::thread::Builder::new()
+                        .name(format!("brokerd-tcp-{id}"))
+                        .spawn(move || loop {
+                            match read_frame(&mut read_half) {
+                                Ok(payload) => {
+                                    if tx.send(TcpEvent::Frame(id, frame(&payload))).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                                    let _ = tx.send(TcpEvent::Bad(id));
+                                    break;
+                                }
+                                Err(_) => {
+                                    let _ = tx.send(TcpEvent::Closed(id));
+                                    break;
+                                }
+                            }
+                        })
+                        .expect("spawn tcp reader"),
+                );
+                conns.push(Some(stream));
+            }
+            Err(e) if polling::is_not_ready(&e) => return Ok(()),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_tcp_event(
+    ev: TcpEvent,
+    server: &mut BrokerServer,
+    conns: &mut [Option<TcpStream>],
+    batch: &mut Vec<(usize, Vec<u8>)>,
+) {
+    match ev {
+        TcpEvent::Frame(id, bytes) => batch.push((id, bytes)),
+        TcpEvent::Bad(id) => {
+            server.bad_frame();
+            if let Some(conn) = conns[id].take() {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+        TcpEvent::Closed(id) => conns[id] = None,
     }
 }
 
@@ -547,15 +1146,24 @@ pub fn population(seed: u64, n_ues: usize) -> Population {
 }
 
 impl Population {
-    /// A server over this population, with every UE provisioned.
+    /// An inline (pool-less) server over this population, with every UE
+    /// provisioned.
     #[must_use]
     pub fn server(&self, rng: SimRng) -> BrokerServer {
-        let mut server = BrokerServer::new(
+        self.server_with_workers(rng, 0)
+    }
+
+    /// A server over this population backed by `workers` crypto threads
+    /// (0 = inline), with every UE provisioned.
+    #[must_use]
+    pub fn server_with_workers(&self, rng: SimRng, workers: usize) -> BrokerServer {
+        let mut server = BrokerServer::with_workers(
             BrokerServerConfig {
                 keys: self.broker.clone(),
                 ca: self.ca.public_key(),
             },
             rng,
+            workers,
         );
         for ue in &self.ues {
             let (sign_pk, encrypt_pk) = ue.public();
@@ -611,7 +1219,8 @@ pub struct ClientConfig {
     /// single-request-per-batch baseline the batching win is measured
     /// against.
     pub window: usize,
-    /// Re-send a request with no reply after this long.
+    /// Re-send a request with no reply after this long (UDP only; the
+    /// stream transport is reliable and never retransmits).
     pub retransmit_after: Duration,
     /// Give up entirely after this long.
     pub deadline: Duration,
@@ -699,6 +1308,79 @@ pub fn run_client(cfg: &ClientConfig, requests: &[Vec<u8>]) -> io::Result<Client
         }
     }
     Ok(outcome)
+}
+
+/// Drive one client over a TCP stream: pump `requests` through a bounded
+/// window, reading replies with [`read_frame`]. The transport is
+/// reliable, so there is no retransmit path — an unanswered request past
+/// the deadline counts as lost.
+///
+/// # Errors
+/// Connection setup or I/O errors other than the timeout family.
+pub fn run_client_tcp(cfg: &ClientConfig, requests: &[Vec<u8>]) -> io::Result<ClientOutcome> {
+    let mut stream = TcpStream::connect(cfg.server)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(cfg.deadline.max(Duration::from_millis(1))))?;
+    let hist = telemetry::histogram(cfg.rtt_hist.clone());
+
+    let mut outcome = ClientOutcome::default();
+    let mut outstanding: HashMap<u64, Instant> = HashMap::new();
+    let mut next = 0usize;
+    let mut done = 0usize;
+    let start = Instant::now();
+    while done < requests.len() {
+        if start.elapsed() > cfg.deadline {
+            outcome.lost = (requests.len() - done) as u64;
+            break;
+        }
+        // Top up the window. The pre-built request buffers are already
+        // length-prefixed frames — the same bytes `write_frame` emits.
+        while outstanding.len() < cfg.window && next < requests.len() {
+            stream.write_all(&requests[next])?;
+            outstanding.insert(next as u64, Instant::now());
+            next += 1;
+        }
+        match read_frame(&mut stream) {
+            Ok(payload) => {
+                let (req_id, ok) = match BrokerWire::decode(&payload) {
+                    Some(BrokerWire::AuthOk { req_id, .. }) => (req_id, true),
+                    Some(BrokerWire::AuthErr { req_id, .. }) => (req_id, false),
+                    _ => continue,
+                };
+                if let Some(sent) = outstanding.remove(&req_id) {
+                    hist.record(sent.elapsed().as_micros() as u64);
+                    if ok {
+                        outcome.ok += 1;
+                    } else {
+                        outcome.refused += 1;
+                    }
+                    done += 1;
+                }
+            }
+            Err(e) if polling::is_not_ready(&e) => {
+                outcome.lost = (requests.len() - done) as u64;
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(outcome)
+}
+
+/// Send one `Report` frame over an existing framed byte stream — used by
+/// the TCP smoke test to prove frames far larger than any UDP datagram
+/// survive the stream transport end-to-end.
+///
+/// # Errors
+/// Underlying stream write errors.
+pub fn send_report_tcp(stream: &mut TcpStream, session_id: u64, sealed: &[u8]) -> io::Result<()> {
+    let payload = BrokerWire::Report {
+        session_id,
+        from_ue: true,
+        sealed: Bytes::copy_from_slice(sealed),
+    }
+    .encode();
+    write_frame(stream, &payload)
 }
 
 #[cfg(test)]
@@ -878,5 +1560,104 @@ mod tests {
             server.counters.served_auths, 24,
             "every distinct nonce authorizes exactly once"
         );
+    }
+
+    /// End-to-end over a real loopback TCP stream with a pooled server:
+    /// windowed client, plus a Report frame far larger than the UDP
+    /// receive buffer to prove the stream transport's point.
+    #[test]
+    fn serve_tcp_end_to_end_over_loopback() {
+        let pop = population(23, 4);
+        let mut server = pop.server_with_workers(SimRng::new(96), 2);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            serve_tcp(&mut server, &listener, &stop2, &ServeConfig::default()).expect("serve_tcp");
+            server
+        });
+
+        // A huge Report first: 3x the UDP receive buffer, impossible to
+        // carry in one datagram of the UDP transport.
+        let mut reporter = TcpStream::connect(addr).expect("connect");
+        let big = vec![0x5a_u8; 3 * RECV_BUF_LEN];
+        send_report_tcp(&mut reporter, 1, &big).expect("report");
+
+        let mut rng = SimRng::new(24);
+        let requests = build_requests(&pop, &[0, 1, 2, 3], 24, &mut rng);
+        let outcome = run_client_tcp(
+            &ClientConfig {
+                server: addr,
+                window: 8,
+                retransmit_after: Duration::from_millis(250),
+                deadline: Duration::from_secs(30),
+                rtt_hist: "test.brokerd.tcp_rtt_us".to_string(),
+            },
+            &requests,
+        )
+        .expect("tcp client");
+        // The report has no reply; give its frame time to land before
+        // stopping (it shares the server with the auth traffic).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            std::thread::sleep(Duration::from_millis(5));
+            if Instant::now() > deadline {
+                break;
+            }
+            if telemetry::counter("brokerd.wire_reports").get() > 0 {
+                break;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let server = handle.join().expect("server thread");
+        assert_eq!(outcome.lost, 0, "no request may go unanswered");
+        assert_eq!(outcome.ok, 24, "fresh nonces all authorize over TCP");
+        assert_eq!(server.counters.bad_frames, 0);
+        assert_eq!(server.counters.served_auths, 24);
+        assert_eq!(
+            server.counters.wire_reports, 1,
+            "the oversized-for-UDP report frame must arrive intact"
+        );
+    }
+
+    /// An oversized length prefix on a TCP stream counts one bad frame
+    /// and drops only that connection; the server keeps serving.
+    #[test]
+    fn tcp_oversized_prefix_drops_connection_not_server() {
+        let pop = population(25, 1);
+        let mut server = pop.server(SimRng::new(95));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            serve_tcp(&mut server, &listener, &stop2, &ServeConfig::default()).expect("serve_tcp");
+            server
+        });
+
+        let mut evil = TcpStream::connect(addr).expect("connect");
+        evil.write_all(&u32::MAX.to_be_bytes())
+            .expect("evil prefix");
+        // A well-behaved client on its own connection is unaffected.
+        let mut rng = SimRng::new(26);
+        let requests = build_requests(&pop, &[0], 4, &mut rng);
+        let outcome = run_client_tcp(
+            &ClientConfig {
+                server: addr,
+                window: 2,
+                retransmit_after: Duration::from_millis(250),
+                deadline: Duration::from_secs(30),
+                rtt_hist: "test.brokerd.tcp_evil_rtt_us".to_string(),
+            },
+            &requests,
+        )
+        .expect("tcp client");
+        stop.store(true, Ordering::Relaxed);
+        let server = handle.join().expect("server thread");
+        assert_eq!(outcome.ok, 4);
+        assert_eq!(outcome.lost, 0);
+        assert_eq!(server.counters.bad_frames, 1, "hostile prefix counted");
+        drop(evil);
     }
 }

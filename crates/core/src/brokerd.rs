@@ -126,6 +126,7 @@ impl BrokerWire {
 }
 
 /// A subscriber record in the broker's database.
+#[derive(Clone)]
 pub struct SubscriberRecord {
     /// UE signing public key.
     pub sign_pk: VerifyingKey,

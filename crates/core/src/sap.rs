@@ -28,8 +28,8 @@ use crate::principal::{BrokerKeys, Identity, TelcoKeys, UeKeys};
 use bytes::Bytes;
 use cellbricks_crypto::cert::{Certificate, Role};
 use cellbricks_crypto::ed25519::{sign_batch, verify_batch, BatchItem, Signature, VerifyingKey};
-use cellbricks_crypto::sealed::{open, seal, seal_begin, seal_finish_batch, SealedBox};
-use cellbricks_crypto::x25519::X25519PublicKey;
+use cellbricks_crypto::sealed::{open, seal, seal_begin_with, seal_finish_batch, SealedBox};
+use cellbricks_crypto::x25519::{X25519PublicKey, X25519SecretKey};
 use cellbricks_epc::wire::{Reader, Writer};
 use cellbricks_sim::SimRng;
 
@@ -559,6 +559,32 @@ pub struct GrantJob<'a> {
     pub session_id: u64,
 }
 
+/// The random material one [`broker_grant`] consumes, pre-drawn so the
+/// grant's curve work can run on any thread (or several) while the
+/// draws themselves stay a single sequential stream on the coordinator.
+/// Draw order per job is exactly [`broker_grant`]'s: shared secret,
+/// ephemeral-T, ephemeral-U.
+pub struct GrantDraws {
+    ss: [u8; 32],
+    eph_t: X25519SecretKey,
+    eph_u: X25519SecretKey,
+}
+
+/// Pre-draw the RNG material for `n` grants, in exactly the order
+/// [`broker_grant_batch`] (and per-request [`broker_grant`]) consumes
+/// it — so `grant_draws` + [`broker_grant_batch_prepared`] is
+/// stream-identical and byte-identical to the eager forms.
+#[must_use]
+pub fn grant_draws(rng: &mut SimRng, n: usize) -> Vec<GrantDraws> {
+    (0..n)
+        .map(|_| GrantDraws {
+            ss: rng.seed32(),
+            eph_t: X25519SecretKey::generate(rng),
+            eph_u: X25519SecretKey::generate(rng),
+        })
+        .collect()
+}
+
 /// [`broker_grant`] over a whole readiness batch, pooling the expensive
 /// field inversions: the four per-request seal inversions collapse into
 /// one shared inversion for the batch (`seal_finish_batch`), and the two
@@ -575,18 +601,38 @@ pub fn broker_grant_batch(
     jobs: &[GrantJob<'_>],
     rng: &mut SimRng,
 ) -> Vec<(BrokerReply, QosInfo, [u8; 32])> {
-    // Stage A: everything that consumes RNG or is per-request cheap —
-    // QoS choice, shared secret, response bodies, seal_begin pairs.
+    let draws = grant_draws(rng, jobs.len());
+    broker_grant_batch_prepared(keys, jobs, &draws)
+}
+
+/// The pure (rng-free) half of [`broker_grant_batch`]: all the curve
+/// math against pre-drawn [`GrantDraws`]. Splitting a batch into
+/// sub-batches and running each through this on a different worker
+/// yields byte-identical replies to one big batch — the shared batch
+/// inversion computes the same (unique) field inverses either way, and
+/// Ed25519 signing is deterministic per item.
+///
+/// # Panics
+/// Panics if `draws` is shorter than `jobs`.
+#[must_use]
+pub fn broker_grant_batch_prepared(
+    keys: &BrokerKeys,
+    jobs: &[GrantJob<'_>],
+    draws: &[GrantDraws],
+) -> Vec<(BrokerReply, QosInfo, [u8; 32])> {
+    assert!(draws.len() >= jobs.len(), "one draw per job");
+    // Stage A: per-request cheap work — QoS choice, response bodies,
+    // seal_begin pairs off the pre-drawn ephemerals.
     let mut staged = Vec::with_capacity(jobs.len());
     let mut bodies = Vec::with_capacity(jobs.len() * 2);
     let mut pendings = Vec::with_capacity(jobs.len() * 2);
-    for job in jobs {
+    for (job, draw) in jobs.iter().zip(draws) {
         let qos = QosInfo {
             mbr_bps: job.entry.plan_mbr_bps.min(job.req.qos_cap.max_mbr_bps),
             qci: job.req.qos_cap.qci_supported.first().copied().unwrap_or(9),
             lawful_intercept: job.entry.lawful_intercept,
         };
-        let ss = rng.seed32();
+        let ss = draw.ss;
         let t_body = {
             let mut w = Writer::new();
             w.put_u64(job.entry.alias)
@@ -598,7 +644,10 @@ pub fn broker_grant_batch(
                 .put_u64(job.session_id);
             w.finish()
         };
-        pendings.push(seal_begin(rng, &X25519PublicKey(job.req.t_encrypt_pk)));
+        pendings.push(seal_begin_with(
+            draw.eph_t.clone(),
+            &X25519PublicKey(job.req.t_encrypt_pk),
+        ));
         bodies.push(t_body);
         let u_body = {
             let mut w = Writer::new();
@@ -609,7 +658,7 @@ pub fn broker_grant_batch(
                 .put_u64(job.session_id);
             w.finish()
         };
-        pendings.push(seal_begin(rng, &job.entry.encrypt_pk));
+        pendings.push(seal_begin_with(draw.eph_u.clone(), &job.entry.encrypt_pk));
         bodies.push(u_body);
         staged.push((qos, ss));
     }

@@ -1,0 +1,157 @@
+//! Determinism and drain guarantees of the multi-worker `brokerd`
+//! pipeline.
+//!
+//! The parallel crypto stage is only allowed to change *when* work
+//! happens, never *what* comes out: every grant's randomness is drawn by
+//! the sequential decision phase (in arrival order) before the work is
+//! scattered, and chunks gather back by index. So the replies must be
+//! byte-identical across worker counts — including `W = 0`, the inline
+//! path that is the PR 9 single-threaded server — and across how the
+//! same request stream happens to be sliced into batches. These tests
+//! pin both properties, plus the shutdown contract: stopping the serve
+//! loop mid-stream loses no reply the server claims to have sent and
+//! duplicates none.
+
+use cellbricks_core::broker_server::{self, build_requests, population, Population, ServeConfig};
+use cellbricks_core::brokerd::BrokerWire;
+use cellbricks_net::wire::unframe;
+use cellbricks_sim::SimRng;
+use std::collections::HashSet;
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 20231;
+
+fn request_stream(pop: &Population, n: usize) -> Vec<Vec<u8>> {
+    let ues: Vec<usize> = (0..pop.ues.len()).collect();
+    let mut rng = SimRng::new(77);
+    build_requests(pop, &ues, n, &mut rng)
+}
+
+/// Feed `reqs` to a fresh server with `workers` crypto threads, split
+/// into batches by `splits` (each entry = one `process_batch` call), and
+/// return every (slot, reply-bytes) pair in emission order.
+fn replies_for(
+    pop: &Population,
+    workers: usize,
+    reqs: &[Vec<u8>],
+    splits: &[usize],
+) -> Vec<(usize, Vec<u8>)> {
+    assert_eq!(splits.iter().sum::<usize>(), reqs.len());
+    let mut server = pop.server_with_workers(SimRng::new(SEED), workers);
+    let mut all = Vec::new();
+    let mut cursor = 0;
+    for &len in splits {
+        let batch: Vec<(usize, &[u8])> = reqs[cursor..cursor + len]
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (cursor + i, r.as_slice()))
+            .collect();
+        cursor += len;
+        let mut out = Vec::new();
+        server.process_batch(&batch, &mut out);
+        all.extend(out);
+    }
+    assert_eq!(server.counters.served_auths, reqs.len() as u64);
+    all
+}
+
+/// W = 0 (inline, the PR 9 code path), W = 1, and W = 4 must produce
+/// byte-identical reply streams for the same requests and grant rng:
+/// parallelism may only move work across threads, never change bytes.
+#[test]
+fn worker_count_never_changes_reply_bytes() {
+    let pop = population(SEED, 6);
+    let reqs = request_stream(&pop, 36);
+    let splits = [12usize, 12, 12];
+    let inline = replies_for(&pop, 0, &reqs, &splits);
+    assert_eq!(inline.len(), reqs.len());
+    for workers in [1usize, 4] {
+        let pooled = replies_for(&pop, workers, &reqs, &splits);
+        assert_eq!(
+            inline, pooled,
+            "W={workers} replies diverged from the inline server"
+        );
+    }
+}
+
+/// How the stream is sliced into batches is an I/O-stage accident (the
+/// adaptive window closes wherever load says it should) and must not
+/// leak into reply bytes: same arrival order, same replies.
+#[test]
+fn batch_split_never_changes_reply_bytes() {
+    let pop = population(SEED, 6);
+    let reqs = request_stream(&pop, 30);
+    let whole = replies_for(&pop, 4, &reqs, &[30]);
+    let single = replies_for(&pop, 4, &reqs, &vec![1; 30]);
+    let ragged = replies_for(&pop, 4, &reqs, &[7, 1, 13, 9]);
+    assert_eq!(whole, single, "per-request batches diverged");
+    assert_eq!(whole, ragged, "ragged batches diverged");
+}
+
+/// Stop the serve loop while a W = 4 pipeline is mid-stream and account
+/// for every reply: the client receives exactly as many replies as the
+/// server counts served (a gathered batch is always fully processed and
+/// flushed before the stop flag is honored — nothing is lost in the
+/// pool), and no `req_id` is ever answered twice (nothing is duplicated).
+#[test]
+fn stop_mid_stream_loses_and_duplicates_nothing() {
+    let pop = Arc::new(population(SEED, 8));
+    let mut server = pop.server_with_workers(SimRng::new(SEED ^ 0xd0), 4);
+    let sock = UdpSocket::bind("127.0.0.1:0").expect("bind server");
+    let addr = sock.local_addr().expect("local addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_server = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        broker_server::serve(&mut server, &sock, &stop_server, &ServeConfig::default())
+            .expect("serve");
+        server
+    });
+
+    // Blast the whole burst (no client-side window) so batches pile up,
+    // then pull the plug while the pipeline is still chewing.
+    let reqs = request_stream(&pop, 128);
+    let client = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+    client.connect(addr).expect("connect");
+    for r in &reqs {
+        client.send(r).expect("send");
+    }
+    std::thread::sleep(Duration::from_millis(2));
+    stop.store(true, Ordering::Relaxed);
+
+    // Collect replies until the line goes quiet for longer than any
+    // in-flight batch could take to flush.
+    client
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .expect("read timeout");
+    let mut buf = vec![0u8; 8 * 1024];
+    let mut answered: Vec<u64> = Vec::new();
+    while let Ok(n) = client.recv(&mut buf) {
+        let payload = unframe(&buf[..n]).expect("framed reply");
+        match BrokerWire::decode(payload) {
+            Some(BrokerWire::AuthOk { req_id, .. } | BrokerWire::AuthErr { req_id, .. }) => {
+                answered.push(req_id);
+            }
+            other => panic!("non-reply frame: {other:?}"),
+        }
+    }
+    let server = handle.join().expect("server thread");
+
+    let served = server.counters.served_auths + server.counters.auth_errs;
+    assert!(served >= 1, "the pipeline served nothing before the stop");
+    assert_eq!(
+        answered.len() as u64,
+        served,
+        "replies on the wire must match replies the server counted — \
+         a stopped pipeline may strand requests, never replies"
+    );
+    let distinct: HashSet<u64> = answered.iter().copied().collect();
+    assert_eq!(
+        distinct.len(),
+        answered.len(),
+        "a req_id was answered twice"
+    );
+    assert_eq!(server.counters.bad_frames, 0);
+}

@@ -13,12 +13,21 @@ use cellbricks_telemetry as telemetry;
 use proptest::prelude::*;
 
 /// A provisioned server plus a pool of valid framed requests to mutate.
-fn world(n_reqs: usize) -> (BrokerServer, Vec<Vec<u8>>) {
+/// `workers` = 0 runs the decision thread inline (the PR 9 single-thread
+/// path); 1 and 4 route the same batches through the crypto worker pool,
+/// so every property below is checked against the parallel pipeline too.
+fn world(n_reqs: usize, workers: usize) -> (BrokerServer, Vec<Vec<u8>>) {
     let pop = population(7, 4);
-    let server = pop.server(SimRng::new(99));
+    let server = pop.server_with_workers(SimRng::new(99), workers);
     let mut rng = SimRng::new(1234);
     let reqs = build_requests(&pop, &[0, 1, 2, 3], n_reqs, &mut rng);
     (server, reqs)
+}
+
+/// The worker counts every property runs under: inline, one worker
+/// (must match inline byte-for-byte), and a real pool.
+fn any_workers() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(0usize), Just(1usize), Just(4usize)]
 }
 
 /// Every reply the server emits must itself be a well-formed frame whose
@@ -59,8 +68,9 @@ proptest! {
             proptest::collection::vec(any::<u8>(), 0..64),
             1..12,
         ),
+        workers in any_workers(),
     ) {
-        let (mut server, reqs) = world(1);
+        let (mut server, reqs) = world(1, workers);
         // The process-global registry starts disabled; the daemon enables
         // it at startup, tests must do the same to observe the mirror.
         telemetry::enable();
@@ -89,8 +99,11 @@ proptest! {
     /// Truncating a valid framed request at any point breaks the length
     /// prefix's promise: always a bad frame, never a panic, never served.
     #[test]
-    fn prop_truncated_frames_are_bad_frames(cut_scale in 0u32..10_000) {
-        let (mut server, reqs) = world(2);
+    fn prop_truncated_frames_are_bad_frames(
+        cut_scale in 0u32..10_000,
+        workers in any_workers(),
+    ) {
+        let (mut server, reqs) = world(2, workers);
         let full = &reqs[0];
         // Map the scale onto a strict truncation point [0, len).
         let cut = (cut_scale as usize * full.len()) / 10_000;
@@ -112,8 +125,9 @@ proptest! {
     fn prop_bit_flipped_frames_never_panic(
         byte_scale in 0u32..10_000,
         bit in 0u32..8,
+        workers in any_workers(),
     ) {
-        let (mut server, reqs) = world(2);
+        let (mut server, reqs) = world(2, workers);
         let mut flipped = reqs[0].clone();
         let idx = (byte_scale as usize * flipped.len()) / 10_000;
         flipped[idx] ^= 1 << bit;
@@ -139,8 +153,9 @@ proptest! {
             1..6,
         ),
         seed in 0u64..1_000,
+        workers in any_workers(),
     ) {
-        let (mut server, reqs) = world(3);
+        let (mut server, reqs) = world(3, workers);
         // Interleave deterministically off the seed.
         let mut datagrams: Vec<(usize, &[u8])> = Vec::new();
         let mut g = garbage.iter();

@@ -446,12 +446,29 @@ struct KeyCache {
 /// to ~4 MiB worst-case.
 const KEY_CACHE_CAP: usize = 4096;
 
-fn key_cache() -> &'static Mutex<KeyCache> {
-    static CACHE: OnceLock<Mutex<KeyCache>> = OnceLock::new();
+/// Lock stripes per process-global cache. The `brokerd` pipeline runs
+/// verification on W parallel workers, each hammering the same caches;
+/// a single mutex would serialize exactly the phase the workers exist
+/// to parallelize. Striping by a uniformly-distributed key byte keeps
+/// contention ~1/8th while preserving the lookup contract: a given key
+/// always lands on the same stripe, so hit/miss behavior is unchanged;
+/// only eviction order differs (per-stripe FIFO, same total capacity).
+const CACHE_STRIPES: usize = 8;
+
+/// Stripe index from a uniformly-distributed key byte (compressed
+/// points, signature bytes, and hashes all qualify).
+fn stripe_of(byte: u8) -> usize {
+    byte as usize & (CACHE_STRIPES - 1)
+}
+
+fn key_cache() -> &'static [Mutex<KeyCache>; CACHE_STRIPES] {
+    static CACHE: OnceLock<[Mutex<KeyCache>; CACHE_STRIPES]> = OnceLock::new();
     CACHE.get_or_init(|| {
-        Mutex::new(KeyCache {
-            map: HashMap::new(),
-            order: VecDeque::new(),
+        std::array::from_fn(|_| {
+            Mutex::new(KeyCache {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            })
         })
     })
 }
@@ -601,7 +618,8 @@ struct DhCache {
     seen_order: VecDeque<[u8; 32]>,
     tables: HashMap<[u8; 32], DhState>,
     table_order: VecDeque<[u8; 32]>,
-    /// How many resident tables are R256, bounded by [`DH_R256_CAP`].
+    /// How many resident tables are R256, bounded by this stripe's
+    /// share of [`DH_R256_CAP`].
     promoted: usize,
 }
 
@@ -626,15 +644,17 @@ const DH_PROMOTE_HITS: u32 = 48;
 /// ~47 MiB even if a pathological workload makes every peer hot.
 const DH_R256_CAP: usize = 96;
 
-fn dh_cache() -> &'static Mutex<DhCache> {
-    static CACHE: OnceLock<Mutex<DhCache>> = OnceLock::new();
+fn dh_cache() -> &'static [Mutex<DhCache>; CACHE_STRIPES] {
+    static CACHE: OnceLock<[Mutex<DhCache>; CACHE_STRIPES]> = OnceLock::new();
     CACHE.get_or_init(|| {
-        Mutex::new(DhCache {
-            seen_once: HashMap::new(),
-            seen_order: VecDeque::new(),
-            tables: HashMap::new(),
-            table_order: VecDeque::new(),
-            promoted: 0,
+        std::array::from_fn(|_| {
+            Mutex::new(DhCache {
+                seen_once: HashMap::new(),
+                seen_order: VecDeque::new(),
+                tables: HashMap::new(),
+                table_order: VecDeque::new(),
+                promoted: 0,
+            })
         })
     })
 }
@@ -643,7 +663,9 @@ fn dh_cache() -> &'static Mutex<DhCache> {
 /// repeated DH peer. `None` means "use the Montgomery ladder": the peer
 /// is new, one-shot so far, or not on the curve.
 pub(crate) fn dh_accel(u: &[u8; 32]) -> Option<Arc<DhTable>> {
-    let mut cache = dh_cache().lock().expect("dh cache poisoned");
+    let mut cache = dh_cache()[stripe_of(u[0])]
+        .lock()
+        .expect("dh cache poisoned");
     let DhCache {
         tables, promoted, ..
     } = &mut *cache;
@@ -652,7 +674,7 @@ pub(crate) fn dh_accel(u: &[u8; 32]) -> Option<Arc<DhTable>> {
             cellbricks_telemetry::counter("crypto.dhcache.hit").inc();
             *hits += 1;
             if *hits >= DH_PROMOTE_HITS
-                && *promoted < DH_R256_CAP
+                && *promoted < DH_R256_CAP / CACHE_STRIPES
                 && matches!(table.as_ref(), DhTable::R16(_))
             {
                 // Hot peer: give it the radix-256 tier. The u-coordinate
@@ -677,7 +699,7 @@ pub(crate) fn dh_accel(u: &[u8; 32]) -> Option<Arc<DhTable>> {
         // First sighting: remember it, stay on the ladder.
         cache.seen_once.insert(*u, ());
         cache.seen_order.push_back(*u);
-        if cache.seen_order.len() > DH_SEEN_CAP {
+        if cache.seen_order.len() > DH_SEEN_CAP / CACHE_STRIPES {
             if let Some(old) = cache.seen_order.pop_front() {
                 cache.seen_once.remove(&old);
             }
@@ -701,7 +723,7 @@ pub(crate) fn dh_accel(u: &[u8; 32]) -> Option<Arc<DhTable>> {
     };
     if cache.tables.insert(*u, state).is_none() {
         cache.table_order.push_back(*u);
-        if cache.table_order.len() > DH_TABLE_CAP {
+        if cache.table_order.len() > DH_TABLE_CAP / CACHE_STRIPES {
             if let Some(old) = cache.table_order.pop_front() {
                 if let Some(DhState::Table { table, .. }) = cache.tables.remove(&old) {
                     if matches!(table.as_ref(), DhTable::R256(_)) {
@@ -718,7 +740,9 @@ pub(crate) fn dh_accel(u: &[u8; 32]) -> Option<Arc<DhTable>> {
 
 /// Look up cached verifier tables for a compressed key.
 pub(crate) fn key_cache_get(key: &[u8; 32]) -> Option<Arc<VerifierTables>> {
-    let cache = key_cache().lock().expect("key cache poisoned");
+    let cache = key_cache()[stripe_of(key[0])]
+        .lock()
+        .expect("key cache poisoned");
     let hit = cache.map.get(key).cloned();
     if hit.is_some() {
         cellbricks_telemetry::counter("crypto.keycache.hit").inc();
@@ -728,12 +752,15 @@ pub(crate) fn key_cache_get(key: &[u8; 32]) -> Option<Arc<VerifierTables>> {
     hit
 }
 
-/// Insert verifier tables for a compressed key, evicting FIFO at cap.
+/// Insert verifier tables for a compressed key, evicting FIFO at the
+/// stripe's share of the cap.
 pub(crate) fn key_cache_put(key: [u8; 32], tables: Arc<VerifierTables>) {
-    let mut cache = key_cache().lock().expect("key cache poisoned");
+    let mut cache = key_cache()[stripe_of(key[0])]
+        .lock()
+        .expect("key cache poisoned");
     if cache.map.insert(key, tables).is_none() {
         cache.order.push_back(key);
-        if cache.order.len() > KEY_CACHE_CAP {
+        if cache.order.len() > KEY_CACHE_CAP / CACHE_STRIPES {
             if let Some(evicted) = cache.order.pop_front() {
                 cache.map.remove(&evicted);
             }
@@ -760,12 +787,14 @@ struct SigMemo {
 /// certificates — one entry per (certificate, signer) pair.
 const SIG_MEMO_CAP: usize = 16384;
 
-fn sig_memo() -> &'static Mutex<SigMemo> {
-    static CACHE: OnceLock<Mutex<SigMemo>> = OnceLock::new();
+fn sig_memo() -> &'static [Mutex<SigMemo>; CACHE_STRIPES] {
+    static CACHE: OnceLock<[Mutex<SigMemo>; CACHE_STRIPES]> = OnceLock::new();
     CACHE.get_or_init(|| {
-        Mutex::new(SigMemo {
-            map: HashMap::new(),
-            order: VecDeque::new(),
+        std::array::from_fn(|_| {
+            Mutex::new(SigMemo {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            })
         })
     })
 }
@@ -782,7 +811,11 @@ fn sig_memo_key(key: &[u8; 32], sig: &[u8; 64], msg_hash: &[u8; 64]) -> SigMemoK
 /// verified successfully. Only successes are memoized, so a hit is a
 /// sound "accept"; failures always re-run the full check.
 pub(crate) fn sig_memo_hit(key: &[u8; 32], sig: &[u8; 64], msg_hash: &[u8; 64]) -> bool {
-    let memo = sig_memo().lock().expect("sig memo poisoned");
+    // Stripe on a signature byte (the compressed R point is uniform);
+    // the key byte would pile every CA-signed certificate on one lock.
+    let memo = sig_memo()[stripe_of(sig[0])]
+        .lock()
+        .expect("sig memo poisoned");
     let hit = memo.map.contains_key(&sig_memo_key(key, sig, msg_hash));
     if hit {
         cellbricks_telemetry::counter("crypto.sigmemo.hit").inc();
@@ -794,11 +827,13 @@ pub(crate) fn sig_memo_hit(key: &[u8; 32], sig: &[u8; 64], msg_hash: &[u8; 64]) 
 
 /// Record a successful verification, evicting FIFO at cap.
 pub(crate) fn sig_memo_put(key: &[u8; 32], sig: &[u8; 64], msg_hash: &[u8; 64]) {
-    let mut memo = sig_memo().lock().expect("sig memo poisoned");
+    let mut memo = sig_memo()[stripe_of(sig[0])]
+        .lock()
+        .expect("sig memo poisoned");
     let k = sig_memo_key(key, sig, msg_hash);
     if memo.map.insert(k, ()).is_none() {
         memo.order.push_back(k);
-        if memo.order.len() > SIG_MEMO_CAP {
+        if memo.order.len() > SIG_MEMO_CAP / CACHE_STRIPES {
             if let Some(evicted) = memo.order.pop_front() {
                 memo.map.remove(&evicted);
             }

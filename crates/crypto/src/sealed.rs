@@ -106,7 +106,17 @@ pub struct PendingSeal {
 /// curve multiplications, deferring their final inversions.
 #[must_use]
 pub fn seal_begin<R: rand::Rng + ?Sized>(rng: &mut R, recipient: &X25519PublicKey) -> PendingSeal {
-    let ephemeral = X25519SecretKey::generate(rng);
+    seal_begin_with(X25519SecretKey::generate(rng), recipient)
+}
+
+/// [`seal_begin`] with a caller-supplied ephemeral key instead of an rng.
+///
+/// Lets a coordinator thread draw every ephemeral key of a batch in
+/// arrival order (the rng is a sequential stream) and then fan the
+/// curve work out to workers: the boxes are byte-identical to
+/// [`seal_begin`] fed the same draws, whatever thread runs the math.
+#[must_use]
+pub fn seal_begin_with(ephemeral: X25519SecretKey, recipient: &X25519PublicKey) -> PendingSeal {
     PendingSeal {
         ephemeral_pk: ephemeral.public_key_deferred(),
         shared: ephemeral.diffie_hellman_deferred(recipient),
